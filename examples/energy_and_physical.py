@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Energy, power and physical-implementation reports (Section VI).
+
+Prints, for the full 64-tile MemPool cluster:
+
+* the energy-per-instruction breakdown of Figure 10;
+* the tile/cluster power breakdown of Section VI-D (running matmul);
+* the tile and cluster area/timing figures of Sections VI-B/VI-C, including
+  the congestion comparison that rules out Top4.
+
+Run with::
+
+    python examples/energy_and_physical.py
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import ExperimentSettings
+from repro.evaluation.fig10 import run_fig10
+from repro.evaluation.physical_tables import run_physical_tables
+from repro.evaluation.power_table import run_power_table
+
+
+def main() -> None:
+    settings = ExperimentSettings()
+
+    print(run_fig10(settings).report())
+    print()
+
+    print(run_power_table(settings).report())
+    print()
+
+    print(run_physical_tables(settings).report())
+
+
+if __name__ == "__main__":
+    main()

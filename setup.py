@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``python setup.py develop`` keeps working on offline machines that
+lack the ``wheel`` package required for PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""MemPool architectural simulator.
+
+A Python reproduction of *MemPool: A Shared-L1 Memory Many-Core Cluster with
+a Low-Latency Interconnect* (Cavalcante, Riedel, Pullini, Benini — DATE 2021).
+
+The package models the full MemPool system at the architectural level:
+
+* ``repro.interconnect`` — crossbars, radix-4 butterflies and the three
+  cluster topologies evaluated in the paper (Top1, Top4, TopH) plus the
+  ideal full-crossbar baseline (TopX).
+* ``repro.core`` — tiles, memory banks, the cluster, core timing models and
+  the cycle-driven simulator.
+* ``repro.addressing`` — the interleaved and hybrid (scrambled) L1 address
+  maps of Section IV.
+* ``repro.snitch`` — a functional RV32IM(+A subset) instruction-set
+  simulator of the Snitch core, with a small assembler.
+* ``repro.kernels`` — the matmul / 2dconv / dct benchmarks of Section V-C.
+* ``repro.traffic`` — synthetic Poisson traffic generation and measurement
+  used for the network analysis of Section V-A/V-B.
+* ``repro.energy`` / ``repro.physical`` — energy, power, area and timing
+  models calibrated against Section VI.
+* ``repro.evaluation`` — one experiment driver per figure/table.
+"""
+
+from repro.core.config import MemPoolConfig
+from repro.core.cluster import MemPoolCluster
+from repro.core.system import MemPoolSystem
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "MemPoolConfig",
+    "MemPoolCluster",
+    "MemPoolSystem",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""L1 address maps: interleaved, hybrid (scrambled), and layout helpers (Section IV)."""
+
+from repro.addressing.map import (
+    AddressMap,
+    BankLocation,
+    HybridAddressMap,
+    InterleavedAddressMap,
+    make_address_map,
+)
+from repro.addressing.layout import MemoryLayout, StackAllocation
+
+__all__ = [
+    "AddressMap",
+    "BankLocation",
+    "InterleavedAddressMap",
+    "HybridAddressMap",
+    "make_address_map",
+    "MemoryLayout",
+    "StackAllocation",
+]

@@ -1,0 +1,160 @@
+"""Program-visible memory layout helpers.
+
+The layout places per-core stacks (and optionally per-tile private data) in
+the *sequential region* of the L1 address space and global shared data above
+it.  The same program-visible addresses are used whether or not the
+scrambling logic is enabled: with scrambling, stack addresses land in the
+core's own tile (1-cycle accesses); without it, the very same addresses are
+interleaved across all tiles — exactly the comparison made in Section V-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import WORD_BYTES, MemPoolConfig
+
+
+@dataclass(frozen=True)
+class StackAllocation:
+    """Stack window assigned to one core."""
+
+    core_id: int
+    base: int
+    size: int
+
+    @property
+    def top(self) -> int:
+        """Initial stack pointer (stacks grow downwards from ``top``)."""
+        return self.base + self.size
+
+
+@dataclass
+class Region:
+    """A named, allocated region of the L1 address space."""
+
+    name: str
+    base: int
+    size: int
+    tile: int | None = None
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+class MemoryLayout:
+    """Allocator for the shared L1 address space.
+
+    * Per-core stacks live in the sequential region: core ``c`` of tile ``T``
+      gets a ``stack_bytes_per_core`` window inside tile ``T``'s
+      ``seq_region_bytes_per_tile`` slice.
+    * ``alloc_tile_local`` hands out additional tile-local storage from the
+      remainder of a tile's sequential slice.
+    * ``alloc_shared`` hands out interleaved (shared) storage above the
+      sequential region.
+    """
+
+    def __init__(self, config: MemPoolConfig) -> None:
+        self.config = config
+        self._regions: list[Region] = []
+        stack_bytes = config.stack_bytes_per_core * config.cores_per_tile
+        # Per-tile cursor inside the sequential slice, after the stacks.
+        self._tile_cursor: list[int] = [stack_bytes] * config.num_tiles
+        # Shared cursor above the whole sequential region.
+        self._shared_cursor = config.seq_region_total_bytes
+        self._stacks = [self._build_stack(core) for core in range(config.num_cores)]
+
+    # ------------------------------------------------------------------ #
+    # Stacks
+    # ------------------------------------------------------------------ #
+
+    def _build_stack(self, core_id: int) -> StackAllocation:
+        config = self.config
+        tile = config.tile_of_core(core_id)
+        local_index = config.local_core_index(core_id)
+        tile_base = tile * config.seq_region_bytes_per_tile
+        base = tile_base + local_index * config.stack_bytes_per_core
+        return StackAllocation(core_id=core_id, base=base, size=config.stack_bytes_per_core)
+
+    def stack(self, core_id: int) -> StackAllocation:
+        """Stack window of ``core_id``."""
+        self.config._check_core(core_id)
+        return self._stacks[core_id]
+
+    def stack_pointer(self, core_id: int) -> int:
+        """Initial stack pointer for ``core_id`` (word-aligned top of stack)."""
+        top = self.stack(core_id).top
+        return top - (top % WORD_BYTES)
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _align(value: int, alignment: int) -> int:
+        if alignment <= 0 or (alignment & (alignment - 1)) != 0:
+            raise ValueError(f"alignment must be a power of two, got {alignment}")
+        return (value + alignment - 1) & ~(alignment - 1)
+
+    def alloc_shared(self, name: str, size: int, alignment: int = WORD_BYTES) -> Region:
+        """Allocate ``size`` bytes of shared (interleaved) storage."""
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        base = self._align(self._shared_cursor, alignment)
+        end = base + size
+        if end > self.config.l1_bytes:
+            raise MemoryError(
+                f"cannot allocate {size} B of shared storage: only "
+                f"{self.config.l1_bytes - base} B left"
+            )
+        self._shared_cursor = end
+        region = Region(name=name, base=base, size=size)
+        self._regions.append(region)
+        return region
+
+    def alloc_tile_local(
+        self, name: str, tile: int, size: int, alignment: int = WORD_BYTES
+    ) -> Region:
+        """Allocate ``size`` bytes inside ``tile``'s sequential slice."""
+        self.config._check_tile(tile)
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        tile_base = tile * self.config.seq_region_bytes_per_tile
+        cursor = self._align(self._tile_cursor[tile], alignment)
+        end = cursor + size
+        if end > self.config.seq_region_bytes_per_tile:
+            raise MemoryError(
+                f"tile {tile} sequential slice exhausted: requested {size} B, "
+                f"{self.config.seq_region_bytes_per_tile - cursor} B available"
+            )
+        self._tile_cursor[tile] = end
+        region = Region(name=name, base=tile_base + cursor, size=size, tile=tile)
+        self._regions.append(region)
+        return region
+
+    def alloc_core_local(
+        self, name: str, core_id: int, size: int, alignment: int = WORD_BYTES
+    ) -> Region:
+        """Allocate tile-local storage in the tile that hosts ``core_id``."""
+        tile = self.config.tile_of_core(core_id)
+        return self.alloc_tile_local(f"{name}.core{core_id}", tile, size, alignment)
+
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        """All regions allocated so far (excluding stacks)."""
+        return tuple(self._regions)
+
+    def describe(self) -> str:
+        """Human-readable summary of the layout."""
+        lines = [
+            f"sequential region: {self.config.seq_region_total_bytes} B "
+            f"({self.config.seq_region_bytes_per_tile} B per tile)",
+            f"stacks: {self.config.stack_bytes_per_core} B per core",
+        ]
+        for region in self._regions:
+            where = f"tile {region.tile}" if region.tile is not None else "shared"
+            lines.append(
+                f"  {region.name}: [{region.base:#x}, {region.end:#x}) ({where})"
+            )
+        return "\n".join(lines)

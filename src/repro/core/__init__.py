@@ -1,0 +1,13 @@
+"""Core MemPool system model: configuration, cluster, tiles, banks, simulator."""
+
+from repro.core.config import MemPoolConfig, TimingParameters
+from repro.core.cluster import MemPoolCluster, Tile
+from repro.core.system import MemPoolSystem
+
+__all__ = [
+    "MemPoolConfig",
+    "TimingParameters",
+    "MemPoolCluster",
+    "Tile",
+    "MemPoolSystem",
+]

@@ -1,0 +1,146 @@
+"""The MemPool cluster: tiles, banks, address map, interconnect and memory.
+
+:class:`MemPoolCluster` ties together the structural view (tiles and groups),
+the functional view (the shared L1 word array), the addressing scheme and the
+timing view (the topology's stage network).  It is the object both the
+execution-driven simulator (:class:`repro.core.system.MemPoolSystem`) and the
+synthetic-traffic simulator (:mod:`repro.traffic`) operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.addressing.layout import MemoryLayout
+from repro.addressing.map import AddressMap, make_address_map
+from repro.core.config import MemPoolConfig
+from repro.core.memory import SharedL1Memory
+from repro.interconnect.resources import Flit
+from repro.interconnect.topology import ClusterTopology, build_topology
+
+
+@dataclass(frozen=True)
+class Tile:
+    """Structural description of one tile (Figure 2)."""
+
+    tile_id: int
+    group: int
+    core_ids: tuple[int, ...]
+    bank_ids: tuple[int, ...]
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.core_ids)
+
+    @property
+    def num_banks(self) -> int:
+        return len(self.bank_ids)
+
+
+class MemPoolCluster:
+    """A configured MemPool cluster instance."""
+
+    def __init__(self, config: MemPoolConfig | None = None) -> None:
+        self.config = config or MemPoolConfig()
+        self.address_map: AddressMap = make_address_map(self.config)
+        self.topology: ClusterTopology = build_topology(self.config)
+        self.memory = SharedL1Memory(self.config)
+        self.layout = MemoryLayout(self.config)
+        self.tiles = self._build_tiles()
+        self._next_flit_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+
+    def _build_tiles(self) -> tuple[Tile, ...]:
+        config = self.config
+        tiles = []
+        for tile_id in range(config.num_tiles):
+            core_base = tile_id * config.cores_per_tile
+            bank_base = tile_id * config.banks_per_tile
+            tiles.append(
+                Tile(
+                    tile_id=tile_id,
+                    group=config.group_of_tile(tile_id),
+                    core_ids=tuple(range(core_base, core_base + config.cores_per_tile)),
+                    bank_ids=tuple(range(bank_base, bank_base + config.banks_per_tile)),
+                )
+            )
+        return tuple(tiles)
+
+    @property
+    def network(self):
+        """The cycle engine of the selected topology."""
+        return self.topology.network
+
+    def tile_of_core(self, core_id: int) -> Tile:
+        return self.tiles[self.config.tile_of_core(core_id)]
+
+    # ------------------------------------------------------------------ #
+    # Request construction
+    # ------------------------------------------------------------------ #
+
+    def _allocate_flit_id(self) -> int:
+        flit_id = self._next_flit_id
+        self._next_flit_id += 1
+        return flit_id
+
+    def make_flit(
+        self,
+        core_id: int,
+        address: int,
+        is_write: bool,
+        cycle: int,
+        tag: object = None,
+    ) -> Flit:
+        """Build the flit for a memory access to a program-visible address."""
+        location = self.address_map.decode(address)
+        bank_id = location.global_bank(self.config.banks_per_tile)
+        return self.make_bank_flit(core_id, bank_id, is_write, cycle, tag)
+
+    def make_bank_flit(
+        self,
+        core_id: int,
+        bank_id: int,
+        is_write: bool,
+        cycle: int,
+        tag: object = None,
+    ) -> Flit:
+        """Build the flit for a memory access targeting a specific bank."""
+        path = self.topology.build_path(core_id, bank_id, needs_response=not is_write)
+        return Flit(
+            flit_id=self._allocate_flit_id(),
+            core_id=core_id,
+            bank_id=bank_id,
+            path=path,
+            is_write=is_write,
+            created_cycle=cycle,
+            tag=tag,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Locality helpers
+    # ------------------------------------------------------------------ #
+
+    def is_local_access(self, core_id: int, address: int) -> bool:
+        """True if ``address`` maps to a bank in ``core_id``'s own tile."""
+        return self.address_map.tile_of(address) == self.config.tile_of_core(core_id)
+
+    def is_local_bank(self, core_id: int, bank_id: int) -> bool:
+        """True if ``bank_id`` belongs to ``core_id``'s own tile."""
+        return self.config.tile_of_bank(bank_id) == self.config.tile_of_core(core_id)
+
+    def zero_load_latency(self, core_id: int, bank_id: int) -> int:
+        """Round-trip latency of an uncontended load from ``core_id`` to ``bank_id``."""
+        return self.topology.zero_load_latency(core_id, bank_id)
+
+    def describe(self) -> str:
+        """Human-readable summary of the cluster."""
+        summary = self.topology.structural_summary()
+        return (
+            f"{self.config.describe()}\n"
+            f"  register stages: {summary['register_stages']}, "
+            f"arbitration points: {summary['arbitration_points']}, "
+            f"remote ports/tile: {summary['remote_ports_per_tile']}"
+        )

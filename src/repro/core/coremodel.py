@@ -1,0 +1,250 @@
+"""Timing model of one Snitch core driving the cluster interconnect.
+
+The core is single-issue: every cycle it either executes one compute
+instruction, issues one memory operation, or stalls.  Loads are non-blocking
+(Section III-B: *"Snitch supports a configurable number of outstanding load
+instructions, which is useful to hide the SPM access latency"*) and tracked
+by a reorder buffer; the core only stalls when an instruction *uses* a value
+that has not returned yet, when the ROB is full, or when the interconnect
+back-pressures its request port.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.agents import Barrier, Compute, CoreAgent, Load, Operation, Store, Use
+from repro.core.rob import ReorderBuffer
+
+
+@dataclass
+class CoreStats:
+    """Per-core activity counters (consumed by the energy/power models)."""
+
+    compute_cycles: int = 0
+    mul_instructions: int = 0
+    local_loads: int = 0
+    remote_loads: int = 0
+    local_stores: int = 0
+    remote_stores: int = 0
+    dependency_stalls: int = 0
+    structural_stalls: int = 0
+    barrier_stalls: int = 0
+    load_latency_sum: int = 0
+    load_latency_max: int = 0
+    finish_cycle: int = -1
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions executed (compute + memory operations)."""
+        return (
+            self.compute_cycles
+            + self.local_loads
+            + self.remote_loads
+            + self.local_stores
+            + self.remote_stores
+        )
+
+    @property
+    def loads(self) -> int:
+        return self.local_loads + self.remote_loads
+
+    @property
+    def stores(self) -> int:
+        return self.local_stores + self.remote_stores
+
+    @property
+    def stall_cycles(self) -> int:
+        return self.dependency_stalls + self.structural_stalls + self.barrier_stalls
+
+    @property
+    def average_load_latency(self) -> float:
+        return self.load_latency_sum / self.loads if self.loads else 0.0
+
+    def merge(self, other: "CoreStats") -> None:
+        """Accumulate another core's counters into this one (cluster totals)."""
+        self.compute_cycles += other.compute_cycles
+        self.mul_instructions += other.mul_instructions
+        self.local_loads += other.local_loads
+        self.remote_loads += other.remote_loads
+        self.local_stores += other.local_stores
+        self.remote_stores += other.remote_stores
+        self.dependency_stalls += other.dependency_stalls
+        self.structural_stalls += other.structural_stalls
+        self.barrier_stalls += other.barrier_stalls
+        self.load_latency_sum += other.load_latency_sum
+        self.load_latency_max = max(self.load_latency_max, other.load_latency_max)
+        self.finish_cycle = max(self.finish_cycle, other.finish_cycle)
+
+
+@dataclass
+class _PendingOp:
+    """The operation currently blocking the core's front end, if any."""
+
+    operation: Operation | None = None
+
+
+class CoreTimingModel:
+    """Cycle-level model of one core executing an agent's operation stream."""
+
+    def __init__(self, core_id: int, cluster, agent: CoreAgent, barrier) -> None:
+        self.core_id = core_id
+        self.cluster = cluster
+        self.agent = agent
+        self.barrier = barrier
+        self.tile_id = cluster.config.tile_of_core(core_id)
+        timing = cluster.config.timing
+        self.rob = ReorderBuffer(timing.max_outstanding_loads)
+        self.injection_queue: deque = deque()
+        self.injection_depth = timing.injection_queue_depth
+        self.stats = CoreStats()
+        self.busy_until = 0
+        self.barrier_waiting = False
+        self.done = False
+        self._ops = iter(agent.operations())
+        self._pending = _PendingOp()
+        self._tag_to_sequence: dict[object, int] = {}
+        self._sequence = 0
+
+    # ------------------------------------------------------------------ #
+    # Interconnect interface
+    # ------------------------------------------------------------------ #
+
+    def on_response(self, flit) -> None:
+        """Called by the system when a load response returns to this core."""
+        self.rob.complete(flit.tag)
+        self.rob.retire_ready()
+        latency = flit.latency
+        self.stats.load_latency_sum += latency
+        self.stats.load_latency_max = max(self.stats.load_latency_max, latency)
+
+    def release_barrier(self) -> None:
+        """Called by the system when the barrier this core waits on opens."""
+        self.barrier_waiting = False
+
+    # ------------------------------------------------------------------ #
+    # Per-cycle behaviour
+    # ------------------------------------------------------------------ #
+
+    def step(self, cycle: int) -> None:
+        """Advance the core by one cycle."""
+        self._progress_agent(cycle)
+        self._try_inject(cycle)
+
+    @property
+    def idle(self) -> bool:
+        """True once the core finished its program and drained its requests."""
+        return self.done and not self.injection_queue
+
+    # -- front end -------------------------------------------------------- #
+
+    def _next_operation(self) -> Operation | None:
+        if self._pending.operation is not None:
+            return self._pending.operation
+        try:
+            operation = next(self._ops)
+        except StopIteration:
+            return None
+        self._pending.operation = operation
+        return operation
+
+    def _consume(self) -> None:
+        self._pending.operation = None
+
+    def _progress_agent(self, cycle: int) -> None:
+        if self.done:
+            return
+        if self.busy_until > cycle:
+            return
+        if self.barrier_waiting:
+            self.stats.barrier_stalls += 1
+            return
+        while True:
+            operation = self._next_operation()
+            if operation is None:
+                self.done = True
+                self.stats.finish_cycle = cycle
+                return
+            if isinstance(operation, Compute):
+                self._consume()
+                self.stats.compute_cycles += operation.cycles
+                self.stats.mul_instructions += operation.muls
+                if operation.cycles > 0:
+                    self.busy_until = cycle + operation.cycles
+                    return
+                continue
+            if isinstance(operation, Use):
+                sequence = self._tag_to_sequence.get(operation.tag)
+                if sequence is None:
+                    raise ValueError(
+                        f"core {self.core_id} uses tag {operation.tag!r} "
+                        "before any load produced it"
+                    )
+                if not self.rob.is_complete(sequence):
+                    self.stats.dependency_stalls += 1
+                    return
+                self._consume()
+                continue
+            if isinstance(operation, Load):
+                if self.rob.is_full or len(self.injection_queue) >= self.injection_depth:
+                    self.stats.structural_stalls += 1
+                    return
+                self._issue_load(operation, cycle)
+                self._consume()
+                return
+            if isinstance(operation, Store):
+                if len(self.injection_queue) >= self.injection_depth:
+                    self.stats.structural_stalls += 1
+                    return
+                self._issue_store(operation, cycle)
+                self._consume()
+                return
+            if isinstance(operation, Barrier):
+                self._consume()
+                self.barrier_waiting = True
+                self.barrier.arrive(self.core_id, operation.barrier_id)
+                return
+            raise TypeError(f"unknown core operation {operation!r}")
+
+    def _issue_load(self, operation: Load, cycle: int) -> None:
+        sequence = self._sequence
+        self._sequence += 1
+        if operation.tag is not None:
+            self._tag_to_sequence[operation.tag] = sequence
+        flit = self.cluster.make_flit(
+            core_id=self.core_id,
+            address=operation.address,
+            is_write=False,
+            cycle=cycle,
+            tag=sequence,
+        )
+        self.rob.allocate(sequence)
+        self.injection_queue.append(flit)
+        if self.cluster.is_local_access(self.core_id, operation.address):
+            self.stats.local_loads += 1
+        else:
+            self.stats.remote_loads += 1
+
+    def _issue_store(self, operation: Store, cycle: int) -> None:
+        flit = self.cluster.make_flit(
+            core_id=self.core_id,
+            address=operation.address,
+            is_write=True,
+            cycle=cycle,
+            tag=None,
+        )
+        self.injection_queue.append(flit)
+        if self.cluster.is_local_access(self.core_id, operation.address):
+            self.stats.local_stores += 1
+        else:
+            self.stats.remote_stores += 1
+
+    # -- back end --------------------------------------------------------- #
+
+    def _try_inject(self, cycle: int) -> None:
+        if not self.injection_queue:
+            return
+        flit = self.injection_queue[0]
+        if self.cluster.network.try_inject(flit, cycle):
+            self.injection_queue.popleft()

@@ -1,0 +1,167 @@
+"""Execution-driven simulation of programs running on the MemPool cluster.
+
+:class:`MemPoolSystem` instantiates one :class:`CoreTimingModel` per core,
+connects them to the cluster's stage network, and advances everything cycle
+by cycle until every core has finished its program and the interconnect has
+drained.  The result object carries the cycle count and the activity counters
+consumed by the energy and power models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.agents import CoreAgent, IdleAgent
+from repro.core.cluster import MemPoolCluster
+from repro.core.coremodel import CoreStats, CoreTimingModel
+from repro.utils.rotation import PermutationSchedule
+
+
+class BarrierTimeoutError(RuntimeError):
+    """Raised when a program deadlocks (e.g. mismatched barrier usage)."""
+
+
+class GlobalBarrier:
+    """A simple all-core barrier used by the parallel kernels."""
+
+    def __init__(self, participants: set[int]) -> None:
+        self.participants = set(participants)
+        self._arrived: set[int] = set()
+        #: Number of completed barrier episodes (for statistics).
+        self.episodes = 0
+
+    def arrive(self, core_id: int, barrier_id: int = 0) -> None:
+        if core_id not in self.participants:
+            raise ValueError(f"core {core_id} is not a barrier participant")
+        self._arrived.add(core_id)
+
+    @property
+    def waiting(self) -> int:
+        return len(self._arrived)
+
+    def try_release(self) -> bool:
+        """Release the barrier if every participant has arrived."""
+        if self.participants and self._arrived >= self.participants:
+            self._arrived.clear()
+            self.episodes += 1
+            return True
+        return False
+
+
+@dataclass
+class SystemResult:
+    """Outcome of one execution-driven simulation."""
+
+    cycles: int
+    core_stats: list[CoreStats]
+    total: CoreStats = field(default_factory=CoreStats)
+    injected_requests: int = 0
+    completed_requests: int = 0
+    barrier_episodes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.total.instructions:
+            total = CoreStats()
+            for stats in self.core_stats:
+                total.merge(stats)
+            self.total = total
+
+    @property
+    def active_cores(self) -> int:
+        """Number of cores that executed at least one instruction."""
+        return sum(1 for stats in self.core_stats if stats.instructions > 0)
+
+    @property
+    def instructions(self) -> int:
+        return self.total.instructions
+
+    @property
+    def ipc(self) -> float:
+        """Cluster-wide instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class MemPoolSystem:
+    """Cycle-driven simulator of agents (programs) running on the cluster."""
+
+    def __init__(
+        self,
+        cluster: MemPoolCluster,
+        agents: dict[int, CoreAgent] | None = None,
+        barrier_participants: set[int] | None = None,
+    ) -> None:
+        self.cluster = cluster
+        config = cluster.config
+        agents = agents or {}
+        self.agents: list[CoreAgent] = [
+            agents.get(core_id, IdleAgent()) for core_id in range(config.num_cores)
+        ]
+        if barrier_participants is None:
+            barrier_participants = {
+                core_id
+                for core_id, agent in enumerate(self.agents)
+                if not isinstance(agent, IdleAgent)
+            }
+        self.barrier = GlobalBarrier(barrier_participants)
+        self.cores = [
+            CoreTimingModel(core_id, cluster, agent, self.barrier)
+            for core_id, agent in enumerate(self.agents)
+        ]
+        self._step_schedule = PermutationSchedule(len(self.cores), seed=1)
+        self.cycle = 0
+
+    # ------------------------------------------------------------------ #
+    # Simulation loop
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> None:
+        """Advance the whole system by one cycle."""
+        network = self.cluster.network
+        completed = network.advance(self.cycle)
+        for flit in completed:
+            if flit.is_read:
+                self.cores[flit.core_id].on_response(flit)
+        for index in self._step_schedule.order(self.cycle):
+            self.cores[index].step(self.cycle)
+        if self.barrier.try_release():
+            for core_id in self.barrier.participants:
+                self.cores[core_id].release_barrier()
+        self.cycle += 1
+
+    def _all_done(self) -> bool:
+        return all(core.idle for core in self.cores) and self.cluster.network.in_flight == 0
+
+    def run(self, max_cycles: int = 2_000_000) -> SystemResult:
+        """Run until every core finished and the network drained."""
+        while not self._all_done():
+            if self.cycle >= max_cycles:
+                raise BarrierTimeoutError(self._deadlock_report(max_cycles))
+            self.step()
+        network = self.cluster.network
+        return SystemResult(
+            cycles=self.cycle,
+            core_stats=[core.stats for core in self.cores],
+            injected_requests=network.total_injected,
+            completed_requests=network.total_completed,
+            barrier_episodes=self.barrier.episodes,
+        )
+
+    def _deadlock_report(self, max_cycles: int) -> str:
+        unfinished = [core.core_id for core in self.cores if not core.idle]
+        waiting = [core.core_id for core in self.cores if core.barrier_waiting]
+        return (
+            f"simulation exceeded {max_cycles} cycles; "
+            f"{len(unfinished)} cores unfinished (first: {unfinished[:8]}), "
+            f"{len(waiting)} cores waiting at a barrier (first: {waiting[:8]}), "
+            f"{self.cluster.network.in_flight} requests in flight"
+        )
+
+
+def run_program(
+    cluster: MemPoolCluster,
+    agents: dict[int, CoreAgent],
+    max_cycles: int = 2_000_000,
+) -> SystemResult:
+    """Convenience wrapper: build a system, run it, return the result."""
+    system = MemPoolSystem(cluster, agents)
+    return system.run(max_cycles=max_cycles)

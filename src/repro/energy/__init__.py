@@ -1,0 +1,19 @@
+"""Energy-per-instruction and power models calibrated against Section VI."""
+
+from repro.energy.model import (
+    EnergyBreakdown,
+    EnergyModel,
+    EnergyParameters,
+    InstructionEnergy,
+)
+from repro.energy.power import PowerBreakdown, PowerModel, PowerParameters
+
+__all__ = [
+    "EnergyParameters",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "InstructionEnergy",
+    "PowerModel",
+    "PowerParameters",
+    "PowerBreakdown",
+]

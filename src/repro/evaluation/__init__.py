@@ -1,0 +1,28 @@
+"""Experiment drivers reproducing every figure and table of the paper."""
+
+from repro.evaluation.settings import ExperimentSettings
+from repro.evaluation.fig5 import Fig5Result, run_fig5
+from repro.evaluation.fig6 import Fig6Result, run_fig6
+from repro.evaluation.fig7 import Fig7Result, run_fig7
+from repro.evaluation.fig10 import Fig10Result, run_fig10
+from repro.evaluation.physical_tables import (
+    PhysicalTablesResult,
+    run_physical_tables,
+)
+from repro.evaluation.power_table import PowerTableResult, run_power_table
+
+__all__ = [
+    "ExperimentSettings",
+    "run_fig5",
+    "Fig5Result",
+    "run_fig6",
+    "Fig6Result",
+    "run_fig7",
+    "Fig7Result",
+    "run_fig10",
+    "Fig10Result",
+    "run_power_table",
+    "PowerTableResult",
+    "run_physical_tables",
+    "PhysicalTablesResult",
+]

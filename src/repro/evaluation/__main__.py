@@ -1,0 +1,59 @@
+"""Run every experiment of the paper and print the figure/table reports.
+
+Usage::
+
+    python -m repro.evaluation              # scaled 64-core cluster (fast)
+    MEMPOOL_FULL=1 python -m repro.evaluation   # full 256-core cluster
+
+Individual experiments can be selected by name::
+
+    python -m repro.evaluation fig5 fig7
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.evaluation import (
+    ExperimentSettings,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig10,
+    run_physical_tables,
+    run_power_table,
+)
+
+EXPERIMENTS = {
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig10": run_fig10,
+    "power": run_power_table,
+    "physical": run_physical_tables,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = sys.argv[1:] if argv is None else argv
+    selected = arguments or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}")
+        print(f"available: {', '.join(EXPERIMENTS)}")
+        return 1
+    settings = ExperimentSettings()
+    print(f"MemPool reproduction — experiment scale: {settings.scale_label}\n")
+    for name in selected:
+        start = time.time()
+        result = EXPERIMENTS[name](settings)
+        elapsed = time.time() - start
+        print(f"=== {name} ({elapsed:.1f} s) ===")
+        print(result.report())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+"""Figure 5: throughput and average latency of Top1 / Top4 / TopH vs injected load.
+
+Paper observations this experiment reproduces:
+
+* Top1 congests around 0.10 request/core/cycle — the single remote port per
+  tile concentrates the traffic of four cores;
+* Top4 and TopH support roughly four times that load (about
+  0.38 request/core/cycle in the paper);
+* TopH's average latency stays below ~6 cycles up to a load of about
+  0.33 request/core/cycle and is lower than Top4's thanks to the 3-cycle
+  local-group accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cluster import MemPoolCluster
+from repro.evaluation.settings import ExperimentSettings
+from repro.traffic import TrafficResult, TrafficSimulation
+from repro.utils.ascii_plot import ascii_plot
+from repro.utils.tables import format_series
+
+#: Injected loads swept by default (request/core/cycle).
+DEFAULT_LOADS = (0.025, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5)
+#: Topologies shown in the figure.
+FIG5_TOPOLOGIES = ("top1", "top4", "toph")
+
+
+@dataclass
+class Fig5Result:
+    """Per-topology throughput/latency series."""
+
+    loads: tuple[float, ...]
+    results: dict[str, list[TrafficResult]] = field(default_factory=dict)
+
+    def throughput(self, topology: str) -> list[float]:
+        return [result.throughput for result in self.results[topology]]
+
+    def latency(self, topology: str) -> list[float]:
+        return [result.average_latency for result in self.results[topology]]
+
+    def saturation_throughput(self, topology: str) -> float:
+        """Highest accepted throughput observed for ``topology``."""
+        return max(self.throughput(topology))
+
+    def latency_at(self, topology: str, load: float) -> float:
+        """Average latency at the sweep point closest to ``load``."""
+        index = min(range(len(self.loads)), key=lambda i: abs(self.loads[i] - load))
+        return self.latency(topology)[index]
+
+    def report(self) -> str:
+        throughput = format_series(
+            "injected load",
+            list(self.loads),
+            {topology: self.throughput(topology) for topology in self.results},
+            title="Figure 5a: throughput (request/core/cycle)",
+        )
+        latency = format_series(
+            "injected load",
+            list(self.loads),
+            {topology: self.latency(topology) for topology in self.results},
+            title="Figure 5b: average round-trip latency (cycles)",
+        )
+        return f"{throughput}\n\n{latency}"
+
+    def plot(self) -> str:
+        """ASCII rendering of Figure 5a (throughput vs injected load)."""
+        return ascii_plot(
+            list(self.loads),
+            {topology: self.throughput(topology) for topology in self.results},
+            x_label="injected load (request/core/cycle)",
+            y_label="thr",
+            title="Figure 5a (ASCII): accepted throughput",
+        )
+
+
+def run_fig5(
+    settings: ExperimentSettings | None = None,
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    topologies: tuple[str, ...] = FIG5_TOPOLOGIES,
+) -> Fig5Result:
+    """Run the uniform-random traffic sweep of Figure 5."""
+    settings = settings or ExperimentSettings()
+    outcome = Fig5Result(loads=tuple(loads))
+    for topology in topologies:
+        series = []
+        for load in loads:
+            cluster = MemPoolCluster(settings.config(topology))
+            simulation = TrafficSimulation(cluster, load, seed=settings.seed)
+            series.append(
+                simulation.run(
+                    warmup_cycles=settings.warmup_cycles,
+                    measure_cycles=settings.measure_cycles,
+                )
+            )
+        outcome.results[topology] = series
+    return outcome

@@ -1,0 +1,119 @@
+"""Figure 7: benchmark performance relative to the ideal-crossbar baseline.
+
+For every benchmark (matmul, 2dconv, dct) and every topology (Top1, Top4,
+TopH) — with and without the scrambling logic — the kernel is simulated and
+its runtime is normalised to the corresponding ideal-crossbar baseline (TopX
+without scrambling, TopXS with scrambling).  Paper observations reproduced
+here:
+
+* TopH generally beats Top4 and both outperform Top1 (by about 3x in the
+  extreme cases, matmul in particular);
+* TopH stays within ~20 % of the ideal baseline even for the remote-heavy
+  matmul;
+* the scrambling logic gains up to ~20 % on the benchmarks with local data
+  (2dconv, dct) and makes all topologies perform nearly identically on dct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cluster import MemPoolCluster
+from repro.evaluation.settings import ExperimentSettings
+from repro.kernels import Conv2dKernel, DctKernel, KernelResult, MatmulKernel
+from repro.utils.tables import format_table
+
+#: Topologies of the figure; ``topx`` is the baseline.
+FIG7_TOPOLOGIES = ("top1", "top4", "toph", "topx")
+FIG7_KERNELS = ("matmul", "2dconv", "dct")
+
+
+@dataclass
+class Fig7Result:
+    """Kernel cycle counts and relative performance per configuration."""
+
+    #: cycles[(kernel, topology, scrambling)] -> simulated cycles
+    cycles: dict[tuple[str, str, bool], int] = field(default_factory=dict)
+    #: kernel results (for correctness flags and activity counters)
+    results: dict[tuple[str, str, bool], KernelResult] = field(default_factory=dict)
+
+    def relative_performance(self, kernel: str, topology: str, scrambling: bool) -> float:
+        """Runtime of the ideal baseline divided by this configuration's runtime."""
+        baseline = self.cycles[(kernel, "topx", scrambling)]
+        return baseline / self.cycles[(kernel, topology, scrambling)]
+
+    def speedup_over_top1(self, kernel: str, topology: str, scrambling: bool) -> float:
+        """How much faster ``topology`` is than Top1 on ``kernel``."""
+        return self.cycles[(kernel, "top1", scrambling)] / self.cycles[
+            (kernel, topology, scrambling)
+        ]
+
+    def scrambling_gain(self, kernel: str, topology: str) -> float:
+        """Speedup the scrambling logic brings to ``topology`` on ``kernel``."""
+        return self.cycles[(kernel, topology, False)] / self.cycles[(kernel, topology, True)]
+
+    def all_correct(self) -> bool:
+        return all(result.correct for result in self.results.values())
+
+    def _present(self, candidates, index) -> list[str]:
+        """The kernels/topologies actually present in the recorded cycles."""
+        return [
+            name
+            for name in candidates
+            if any(key[index] == name for key in self.cycles)
+        ]
+
+    def report(self) -> str:
+        kernels = self._present(FIG7_KERNELS, 0)
+        topologies = self._present(FIG7_TOPOLOGIES, 1)
+        headers = ["benchmark"]
+        for topology in topologies:
+            headers.append(topology)
+            headers.append(f"{topology}S")
+        rows = []
+        for kernel in kernels:
+            row: list[object] = [kernel]
+            for topology in topologies:
+                row.append(self.relative_performance(kernel, topology, False))
+                row.append(self.relative_performance(kernel, topology, True))
+            rows.append(row)
+        return format_table(
+            headers,
+            rows,
+            title="Figure 7: performance relative to the ideal-crossbar baseline "
+            "(TopX / TopXS); 'S' columns use the scrambling logic",
+        )
+
+
+def _build_kernel(name: str, cluster: MemPoolCluster, settings: ExperimentSettings):
+    if name == "matmul":
+        return MatmulKernel(cluster, size=settings.matmul_size, seed=settings.seed)
+    if name == "2dconv":
+        return Conv2dKernel(cluster, width=settings.conv_width, seed=settings.seed)
+    if name == "dct":
+        return DctKernel(
+            cluster, blocks_per_core=settings.dct_blocks_per_core, seed=settings.seed
+        )
+    raise ValueError(f"unknown kernel {name!r}")
+
+
+def run_fig7(
+    settings: ExperimentSettings | None = None,
+    kernels: tuple[str, ...] = FIG7_KERNELS,
+    topologies: tuple[str, ...] = FIG7_TOPOLOGIES,
+    verify: bool = True,
+) -> Fig7Result:
+    """Run every (kernel, topology, scrambling) combination of Figure 7."""
+    settings = settings or ExperimentSettings()
+    outcome = Fig7Result()
+    for kernel_name in kernels:
+        for topology in topologies:
+            for scrambling in (False, True):
+                config = settings.config(topology, scrambling_enabled=scrambling)
+                cluster = MemPoolCluster(config)
+                kernel = _build_kernel(kernel_name, cluster, settings)
+                result = kernel.run(verify=verify)
+                key = (kernel_name, topology, scrambling)
+                outcome.cycles[key] = result.cycles
+                outcome.results[key] = result
+    return outcome

@@ -1,0 +1,58 @@
+"""Shared knobs of the experiment drivers.
+
+The paper evaluates a 256-core cluster.  Cycle-level simulation of that
+system in pure Python is possible but slow, so the default experiment scale
+is a 64-core cluster that preserves every architectural mechanism (four
+groups, radix-4 butterflies, 16-bank tiles).  Setting the environment
+variable ``MEMPOOL_FULL=1`` — or passing ``full_scale=True`` — switches the
+drivers to the full 256-core configuration and the paper's benchmark sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.config import MemPoolConfig
+
+
+def _full_scale_from_environment() -> bool:
+    return os.environ.get("MEMPOOL_FULL", "0") not in ("", "0", "false", "False")
+
+
+@dataclass
+class ExperimentSettings:
+    """Scale and simulation-length knobs shared by all experiment drivers."""
+
+    full_scale: bool = field(default_factory=_full_scale_from_environment)
+    #: Warm-up cycles of the synthetic-traffic measurements.
+    warmup_cycles: int = 300
+    #: Measurement window of the synthetic-traffic measurements.
+    measure_cycles: int = 1000
+    #: Random seed shared by the traffic generators and kernels.
+    seed: int = 0
+
+    def config(self, topology: str, **overrides) -> MemPoolConfig:
+        """The cluster configuration the experiments run on."""
+        if self.full_scale:
+            return MemPoolConfig.full(topology, **overrides)
+        return MemPoolConfig.scaled(topology, **overrides)
+
+    @property
+    def matmul_size(self) -> int:
+        """Matrix size of the matmul benchmark (64 in the paper)."""
+        return 64 if self.full_scale else 32
+
+    @property
+    def conv_width(self) -> int:
+        """Image width of the 2dconv benchmark."""
+        return 64 if self.full_scale else 32
+
+    @property
+    def dct_blocks_per_core(self) -> int:
+        """8x8 blocks per core of the dct benchmark."""
+        return 1
+
+    @property
+    def scale_label(self) -> str:
+        return "full (256 cores)" if self.full_scale else "scaled (64 cores)"

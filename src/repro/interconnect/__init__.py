@@ -1,0 +1,35 @@
+"""Interconnect substrate: flits, crossbars, butterflies and cluster topologies."""
+
+from repro.interconnect.resources import (
+    ArbitrationPoint,
+    Flit,
+    RegisterStage,
+    Resource,
+    StageNetwork,
+)
+from repro.interconnect.crossbar import CrossbarSwitch
+from repro.interconnect.butterfly import ButterflyNetwork
+from repro.interconnect.topology import (
+    ClusterTopology,
+    IdealTopology,
+    Top1Topology,
+    Top4Topology,
+    TopHTopology,
+    build_topology,
+)
+
+__all__ = [
+    "Resource",
+    "RegisterStage",
+    "ArbitrationPoint",
+    "Flit",
+    "StageNetwork",
+    "CrossbarSwitch",
+    "ButterflyNetwork",
+    "ClusterTopology",
+    "Top1Topology",
+    "Top4Topology",
+    "TopHTopology",
+    "IdealTopology",
+    "build_topology",
+]

@@ -1,0 +1,155 @@
+"""Parallel 2-D discrete convolution (the ``2dconv`` benchmark of Section V-C).
+
+A 3x3 kernel is convolved with an ``H x W`` integer image.  The image rows
+are distributed across the tiles: each tile's slice of the input and output
+image lives in its *sequential region*, so with the scrambling logic enabled
+almost every access is local — except, as the paper notes, *"for cores
+working on windows that require data from two tiles"*, i.e. the rows at a
+tile's upper and lower boundary whose 3x3 window reaches into the
+neighbouring tile's slice.  With scrambling disabled the same addresses are
+interleaved across the whole cluster, which is exactly the comparison of
+Figure 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.agents import Compute, Store
+from repro.core.cluster import MemPoolCluster
+from repro.core.config import WORD_BYTES
+from repro.kernels.runtime import Kernel, load_use_block, split_evenly
+
+
+class Conv2dKernel(Kernel):
+    """3x3 convolution with tile-local image slices."""
+
+    name = "2dconv"
+
+    #: Fixed 3x3 kernel (a small integer edge-detection-like stencil).
+    WEIGHTS = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=np.int64)
+
+    def __init__(
+        self,
+        cluster: MemPoolCluster,
+        height: int | None = None,
+        width: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(cluster)
+        config = self.config
+        if height is None:
+            # Two image rows per core by default.
+            height = 2 * config.num_cores
+        if height % config.num_tiles != 0:
+            raise ValueError(
+                f"image height ({height}) must be a multiple of the tile count "
+                f"({config.num_tiles})"
+            )
+        if width <= 2 or height <= 2:
+            raise ValueError("image must be larger than the 3x3 kernel")
+        self.height = height
+        self.width = width
+        self.rows_per_tile = height // config.num_tiles
+        rng = np.random.default_rng(seed)
+        self.image = rng.integers(0, 256, size=(height, width), dtype=np.int64)
+
+        row_bytes = width * WORD_BYTES
+        slice_bytes = self.rows_per_tile * row_bytes
+        self._input_slices = []
+        self._output_slices = []
+        for tile in range(config.num_tiles):
+            input_region = self.layout.alloc_tile_local(
+                "conv.in", tile, slice_bytes
+            )
+            output_region = self.layout.alloc_tile_local(
+                "conv.out", tile, slice_bytes
+            )
+            self._input_slices.append(input_region)
+            self._output_slices.append(output_region)
+            first_row = tile * self.rows_per_tile
+            self.memory.write_matrix(
+                input_region.base, self.image[first_row : first_row + self.rows_per_tile]
+            )
+        # Each core convolves a contiguous block of rows of its own tile.
+        self._rows_per_core = split_evenly(self.rows_per_tile, config.cores_per_tile)
+
+    # ------------------------------------------------------------------ #
+    # Addresses
+    # ------------------------------------------------------------------ #
+
+    def _input_address(self, row: int, col: int) -> int:
+        tile, local_row = divmod(row, self.rows_per_tile)
+        return self._input_slices[tile].base + (local_row * self.width + col) * WORD_BYTES
+
+    def _output_address(self, row: int, col: int) -> int:
+        tile, local_row = divmod(row, self.rows_per_tile)
+        return self._output_slices[tile].base + (local_row * self.width + col) * WORD_BYTES
+
+    # ------------------------------------------------------------------ #
+    # Per-core program
+    # ------------------------------------------------------------------ #
+
+    def core_program(self, core_id: int):
+        config = self.config
+        tile = config.tile_of_core(core_id)
+        local_core = config.local_core_index(core_id)
+        start_local, end_local = self._rows_per_core[local_core]
+        first_row = tile * self.rows_per_tile + start_local
+        last_row = tile * self.rows_per_tile + end_local
+        memory = self.memory
+        weights = self.WEIGHTS
+        # Prologue: load the nine kernel weights into registers.
+        yield Compute(12)
+        for row in range(first_row, last_row):
+            for col in range(self.width):
+                if row == 0 or row == self.height - 1 or col == 0 or col == self.width - 1:
+                    # Border pixels are passed through unchanged (cheap path).
+                    value = memory.read_signed(self._input_address(row, col))
+                    yield from load_use_block([self._input_address(row, col)], "border")
+                    memory.write_word(self._output_address(row, col), value)
+                    yield Store(self._output_address(row, col))
+                    yield Compute(2)
+                    continue
+                window_addresses = [
+                    self._input_address(row + dy, col + dx)
+                    for dy in (-1, 0, 1)
+                    for dx in (-1, 0, 1)
+                ]
+                accumulator = 0
+                for (dy, dx), address in zip(
+                    ((dy, dx) for dy in (-1, 0, 1) for dx in (-1, 0, 1)),
+                    window_addresses,
+                ):
+                    accumulator += int(weights[dy + 1, dx + 1]) * memory.read_signed(
+                        address
+                    )
+                yield from load_use_block(window_addresses, "win")
+                # Nine multiply-accumulates plus pixel-loop overhead.
+                yield Compute(cycles=2 * 9 + 3, muls=9)
+                memory.write_word(self._output_address(row, col), accumulator)
+                yield Store(self._output_address(row, col))
+            # Row-loop bookkeeping.
+            yield Compute(2)
+
+    # ------------------------------------------------------------------ #
+    # Verification
+    # ------------------------------------------------------------------ #
+
+    def reference(self) -> np.ndarray:
+        output = self.image.copy()
+        for row in range(1, self.height - 1):
+            for col in range(1, self.width - 1):
+                window = self.image[row - 1 : row + 2, col - 1 : col + 2]
+                output[row, col] = int(np.sum(window * self.WEIGHTS))
+        return output
+
+    def result(self) -> np.ndarray:
+        rows = []
+        for tile in range(self.config.num_tiles):
+            rows.append(
+                self.memory.read_matrix(
+                    self._output_slices[tile].base, self.rows_per_tile, self.width
+                )
+            )
+        return np.vstack(rows)

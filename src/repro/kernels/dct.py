@@ -1,0 +1,192 @@
+"""Parallel 8x8 discrete cosine transform (the ``dct`` benchmark of Section V-C).
+
+Each core transforms 8x8 blocks that reside in its own tile's sequential
+region and keeps the intermediate (row-transformed) block on its stack, so
+with the scrambling logic enabled *every* access is local — the behaviour the
+paper highlights: all topologies perform equally well on ``dct`` when the
+hybrid addressing scheme maps the stack to local banks, and suffer when it
+does not.
+
+The transform is an integer DCT-II with a fixed-point (Q6) cosine table; the
+per-pass arithmetic of the timing trace models a fast 8-point butterfly
+factorisation (about 16 multiplies per 1-D transform), while the functional
+result — used only for verification — is computed with the plain
+matrix-vector formulation.  Reference and simulated results use identical
+integer arithmetic, so verification is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.agents import Compute, Store
+from repro.core.cluster import MemPoolCluster
+from repro.core.config import WORD_BYTES
+from repro.kernels.runtime import Kernel, load_use_block, split_evenly
+
+#: Transform size (8x8 blocks, as in the paper).
+BLOCK = 8
+#: Fixed-point scale of the cosine table (Q6).
+COS_SCALE = 6
+
+
+def _cosine_table() -> np.ndarray:
+    """Q6 fixed-point DCT-II coefficient table ``C[u, x]``."""
+    table = np.zeros((BLOCK, BLOCK), dtype=np.int64)
+    for u in range(BLOCK):
+        for x in range(BLOCK):
+            angle = (2 * x + 1) * u * np.pi / (2 * BLOCK)
+            table[u, x] = int(round(np.cos(angle) * (1 << COS_SCALE)))
+    return table
+
+
+COS_TABLE = _cosine_table()
+
+
+def dct_1d(values: np.ndarray) -> np.ndarray:
+    """Integer 8-point DCT-II of ``values`` (Q6 table, rescaled back)."""
+    products = COS_TABLE @ np.asarray(values, dtype=np.int64)
+    # Arithmetic shift right by the table scale (floor division matches srai).
+    return products >> COS_SCALE
+
+
+def dct_2d(block: np.ndarray) -> np.ndarray:
+    """Integer 8x8 DCT-II: rows first, then columns (as the kernel computes it)."""
+    block = np.asarray(block, dtype=np.int64)
+    rows = np.stack([dct_1d(block[r, :]) for r in range(BLOCK)])
+    cols = np.stack([dct_1d(rows[:, c]) for c in range(BLOCK)], axis=1)
+    return cols
+
+
+class DctKernel(Kernel):
+    """8x8 block DCT on tile-local data with stack-resident intermediates."""
+
+    name = "dct"
+
+    def __init__(
+        self,
+        cluster: MemPoolCluster,
+        blocks_per_core: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(cluster)
+        if blocks_per_core <= 0:
+            raise ValueError("blocks_per_core must be positive")
+        self.blocks_per_core = blocks_per_core
+        config = self.config
+        rng = np.random.default_rng(seed)
+        self.blocks = rng.integers(
+            0, 256, size=(config.num_cores * blocks_per_core, BLOCK, BLOCK), dtype=np.int64
+        )
+        block_bytes = BLOCK * BLOCK * WORD_BYTES
+        per_tile_bytes = config.cores_per_tile * blocks_per_core * block_bytes
+        self._input_regions = []
+        self._output_regions = []
+        for tile in range(config.num_tiles):
+            self._input_regions.append(
+                self.layout.alloc_tile_local("dct.in", tile, per_tile_bytes)
+            )
+            self._output_regions.append(
+                self.layout.alloc_tile_local("dct.out", tile, per_tile_bytes)
+            )
+        for block_index in range(len(self.blocks)):
+            self.memory.write_matrix(self._input_address(block_index, 0, 0), self.blocks[block_index])
+
+    # ------------------------------------------------------------------ #
+    # Addresses
+    # ------------------------------------------------------------------ #
+
+    def _block_core(self, block_index: int) -> int:
+        return block_index // self.blocks_per_core
+
+    def _block_slot(self, block_index: int) -> int:
+        """Index of the block within its tile's local region."""
+        core = self._block_core(block_index)
+        local_core = self.config.local_core_index(core)
+        return local_core * self.blocks_per_core + block_index % self.blocks_per_core
+
+    def _input_address(self, block_index: int, row: int, col: int) -> int:
+        core = self._block_core(block_index)
+        tile = self.config.tile_of_core(core)
+        base = self._input_regions[tile].base
+        offset = (self._block_slot(block_index) * BLOCK * BLOCK + row * BLOCK + col) * WORD_BYTES
+        return base + offset
+
+    def _output_address(self, block_index: int, row: int, col: int) -> int:
+        core = self._block_core(block_index)
+        tile = self.config.tile_of_core(core)
+        base = self._output_regions[tile].base
+        offset = (self._block_slot(block_index) * BLOCK * BLOCK + row * BLOCK + col) * WORD_BYTES
+        return base + offset
+
+    # ------------------------------------------------------------------ #
+    # Per-core program
+    # ------------------------------------------------------------------ #
+
+    def _core_blocks(self, core_id: int) -> range:
+        start = core_id * self.blocks_per_core
+        return range(start, start + self.blocks_per_core)
+
+    def core_program(self, core_id: int):
+        memory = self.memory
+        yield Compute(6)  # prologue: pointers, loop bounds
+        for block_index in self._core_blocks(core_id):
+            intermediate = np.zeros((BLOCK, BLOCK), dtype=np.int64)
+            # Row pass: read each row of the input block (tile-local), write
+            # the transformed row to the stack.
+            for row in range(BLOCK):
+                addresses = [
+                    self._input_address(block_index, row, col) for col in range(BLOCK)
+                ]
+                values = np.array(
+                    [memory.read_signed(address) for address in addresses],
+                    dtype=np.int64,
+                )
+                intermediate[row, :] = dct_1d(values)
+                yield from load_use_block(addresses, f"row{row}")
+                # Fast 8-point DCT: ~16 multiplies and ~16 additions.
+                yield Compute(cycles=32, muls=16)
+                for col in range(BLOCK):
+                    stack_slot = row * BLOCK + col
+                    memory.write_word(
+                        self.stack_address(core_id, stack_slot),
+                        int(intermediate[row, col]),
+                    )
+                    yield Store(self.stack_address(core_id, stack_slot))
+            # Column pass: read the intermediates back from the stack, write
+            # the final coefficients to the tile-local output block.
+            for col in range(BLOCK):
+                stack_addresses = [
+                    self.stack_address(core_id, row * BLOCK + col) for row in range(BLOCK)
+                ]
+                column = np.array(
+                    [memory.read_signed(address) for address in stack_addresses],
+                    dtype=np.int64,
+                )
+                transformed = dct_1d(column)
+                yield from load_use_block(stack_addresses, f"col{col}")
+                yield Compute(cycles=32, muls=16)
+                for row in range(BLOCK):
+                    memory.write_word(
+                        self._output_address(block_index, row, col), int(transformed[row])
+                    )
+                    yield Store(self._output_address(block_index, row, col))
+            # Block-loop bookkeeping.
+            yield Compute(2)
+
+    # ------------------------------------------------------------------ #
+    # Verification
+    # ------------------------------------------------------------------ #
+
+    def reference(self) -> np.ndarray:
+        return np.stack([dct_2d(block) for block in self.blocks])
+
+    def result(self) -> np.ndarray:
+        outputs = []
+        for block_index in range(len(self.blocks)):
+            outputs.append(
+                self.memory.read_matrix(
+                    self._output_address(block_index, 0, 0), BLOCK, BLOCK
+                )
+            )
+        return np.stack(outputs)

@@ -1,0 +1,155 @@
+"""Additional data-parallel vector kernels (beyond the paper's three benchmarks).
+
+These kernels exercise the same programming model as Section V-C — shared
+interleaved operands, per-core work slices, stack-resident scalars — and are
+useful both as library examples and as extra workloads for the interconnect:
+
+* :class:`AxpyKernel` — ``y = a * x + y`` (streaming, two loads and one store
+  per element, no reuse: bandwidth-bound);
+* :class:`DotProductKernel` — parallel dot product with per-core partial sums
+  and a final single-core reduction after a barrier (latency- and
+  synchronisation-sensitive).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.agents import Barrier, Compute, Store
+from repro.core.cluster import MemPoolCluster
+from repro.core.config import WORD_BYTES
+from repro.core.memory import to_signed
+from repro.kernels.runtime import Kernel, load_use_block, split_evenly
+
+
+class AxpyKernel(Kernel):
+    """``y[i] = a * x[i] + y[i]`` with elements distributed across all cores."""
+
+    name = "axpy"
+
+    #: Number of elements whose loads are issued back to back.
+    UNROLL = 4
+
+    def __init__(
+        self,
+        cluster: MemPoolCluster,
+        length: int = 1024,
+        scalar: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(cluster)
+        if length <= 0:
+            raise ValueError(f"length must be positive, got {length}")
+        self.length = length
+        self.scalar = scalar
+        rng = np.random.default_rng(seed)
+        self.x = rng.integers(-1000, 1000, length, dtype=np.int64)
+        self.y = rng.integers(-1000, 1000, length, dtype=np.int64)
+        self._x_region = self.layout.alloc_shared("axpy.x", length * WORD_BYTES)
+        self._y_region = self.layout.alloc_shared("axpy.y", length * WORD_BYTES)
+        self.memory.write_words(self._x_region.base, self.x)
+        self.memory.write_words(self._y_region.base, self.y)
+        self._split = split_evenly(length, self.config.num_cores)
+
+    def _addr_x(self, index: int) -> int:
+        return self._x_region.base + index * WORD_BYTES
+
+    def _addr_y(self, index: int) -> int:
+        return self._y_region.base + index * WORD_BYTES
+
+    def core_program(self, core_id: int):
+        start, end = self._split[core_id]
+        memory = self.memory
+        yield Compute(3)  # prologue: pointers, scalar
+        for base in range(start, end, self.UNROLL):
+            chunk = range(base, min(base + self.UNROLL, end))
+            addresses = [self._addr_x(i) for i in chunk] + [self._addr_y(i) for i in chunk]
+            results = [
+                self.scalar * memory.read_signed(self._addr_x(i))
+                + memory.read_signed(self._addr_y(i))
+                for i in chunk
+            ]
+            yield from load_use_block(addresses, f"chunk{base}")
+            # One mul and one add per element plus loop overhead.
+            yield Compute(cycles=2 * len(chunk) + 2, muls=len(chunk))
+            for index, value in zip(chunk, results):
+                memory.write_word(self._addr_y(index), to_signed(value))
+                yield Store(self._addr_y(index))
+
+    def reference(self) -> np.ndarray:
+        return self.scalar * self.x + self.y
+
+    def result(self) -> np.ndarray:
+        return self.memory.read_words(self._y_region.base, self.length)
+
+
+class DotProductKernel(Kernel):
+    """Parallel dot product: per-core partial sums, barrier, single-core reduce."""
+
+    name = "dotprod"
+
+    UNROLL = 4
+
+    def __init__(self, cluster: MemPoolCluster, length: int = 1024, seed: int = 0) -> None:
+        super().__init__(cluster)
+        if length <= 0:
+            raise ValueError(f"length must be positive, got {length}")
+        self.length = length
+        rng = np.random.default_rng(seed)
+        self.a = rng.integers(-100, 100, length, dtype=np.int64)
+        self.b = rng.integers(-100, 100, length, dtype=np.int64)
+        self._a_region = self.layout.alloc_shared("dot.a", length * WORD_BYTES)
+        self._b_region = self.layout.alloc_shared("dot.b", length * WORD_BYTES)
+        # One partial-sum word per core, then the final result word.
+        self._partials = self.layout.alloc_shared(
+            "dot.partials", self.config.num_cores * WORD_BYTES
+        )
+        self._result_region = self.layout.alloc_shared("dot.result", WORD_BYTES)
+        self.memory.write_words(self._a_region.base, self.a)
+        self.memory.write_words(self._b_region.base, self.b)
+        self._split = split_evenly(length, self.config.num_cores)
+
+    def _addr(self, region, index: int) -> int:
+        return region.base + index * WORD_BYTES
+
+    def core_program(self, core_id: int):
+        start, end = self._split[core_id]
+        memory = self.memory
+        yield Compute(3)
+        partial = 0
+        for base in range(start, end, self.UNROLL):
+            chunk = range(base, min(base + self.UNROLL, end))
+            addresses = [self._addr(self._a_region, i) for i in chunk]
+            addresses += [self._addr(self._b_region, i) for i in chunk]
+            for index in chunk:
+                partial += memory.read_signed(
+                    self._addr(self._a_region, index)
+                ) * memory.read_signed(self._addr(self._b_region, index))
+            yield from load_use_block(addresses, f"chunk{base}")
+            yield Compute(cycles=2 * len(chunk) + 2, muls=len(chunk))
+        partial_address = self._addr(self._partials, core_id)
+        memory.write_word(partial_address, to_signed(partial))
+        yield Store(partial_address)
+        yield Barrier()
+        if core_id == 0:
+            total = 0
+            for core in range(self.config.num_cores):
+                address = self._addr(self._partials, core)
+                total += memory.read_signed(address)
+            addresses = [
+                self._addr(self._partials, core) for core in range(self.config.num_cores)
+            ]
+            # The reduction loads every partial sum (bounded by the ROB depth,
+            # the load/use helper interleaves naturally).
+            for base in range(0, len(addresses), self.UNROLL):
+                chunk = addresses[base : base + self.UNROLL]
+                yield from load_use_block(chunk, f"reduce{base}")
+                yield Compute(cycles=len(chunk) + 1)
+            memory.write_word(self._result_region.base, to_signed(total))
+            yield Store(self._result_region.base)
+
+    def reference(self) -> np.ndarray:
+        return np.array([int(np.dot(self.a, self.b))], dtype=np.int64)
+
+    def result(self) -> np.ndarray:
+        return self.memory.read_words(self._result_region.base, 1)

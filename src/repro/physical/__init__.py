@@ -1,0 +1,17 @@
+"""Analytical physical models: area, timing and floorplan/congestion (Section VI)."""
+
+from repro.physical.area import AreaModel, AreaParameters, TileAreaBreakdown, ClusterAreaReport
+from repro.physical.timing import CriticalPath, TimingModel, TimingParametersPhysical
+from repro.physical.floorplan import CongestionReport, FloorplanModel
+
+__all__ = [
+    "AreaModel",
+    "AreaParameters",
+    "TileAreaBreakdown",
+    "ClusterAreaReport",
+    "TimingModel",
+    "TimingParametersPhysical",
+    "CriticalPath",
+    "FloorplanModel",
+    "CongestionReport",
+]

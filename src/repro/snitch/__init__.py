@@ -1,0 +1,24 @@
+"""Functional model of the Snitch RV32IM(+A subset) core and its toolchain."""
+
+from repro.snitch.registers import ABI_NAMES, RegisterFile, register_index
+from repro.snitch.isa import Instruction, InstructionClass
+from repro.snitch.assembler import AssemblerError, Program, assemble
+from repro.snitch.core import ExecutionResult, SnitchCore
+from repro.snitch.icache import InstructionCache
+from repro.snitch.agent import SnitchAgent, make_snitch_agents
+
+__all__ = [
+    "ABI_NAMES",
+    "RegisterFile",
+    "register_index",
+    "Instruction",
+    "InstructionClass",
+    "Program",
+    "assemble",
+    "AssemblerError",
+    "SnitchCore",
+    "ExecutionResult",
+    "InstructionCache",
+    "SnitchAgent",
+    "make_snitch_agents",
+]

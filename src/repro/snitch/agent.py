@@ -1,0 +1,162 @@
+"""Bridge between the functional Snitch ISS and the cluster timing model.
+
+:class:`SnitchAgent` executes a :class:`~repro.snitch.assembler.Program` on
+the functional core and emits the operation stream the timing model
+understands: every executed instruction becomes a one-cycle ``Compute`` (or a
+``Load`` / ``Store`` for memory instructions), loads are issued non-blocking
+and a ``Use`` is emitted only when a later instruction actually reads the
+loaded register — which is exactly the scoreboard behaviour that lets the
+Snitch core hide L1 latency behind independent instructions.
+
+Functional state (registers, memory contents) is updated at issue time; the
+timing model only decides *when* each instruction's cost is paid.  This is a
+standard execution-driven (functional-first) simulator split and is accurate
+for data-race-free programs.
+"""
+
+from __future__ import annotations
+
+from repro.core.agents import Compute, CoreAgent, Load, Store, Use
+from repro.core.memory import SharedL1Memory
+from repro.snitch.assembler import Program
+from repro.snitch.core import SnitchCore
+from repro.snitch.icache import InstructionCache
+from repro.snitch.isa import InstructionClass
+
+#: Cycles a divide occupies the Snitch core (iterative divider).
+DIV_CYCLES = 8
+
+
+class SnitchAgent(CoreAgent):
+    """Runs one assembled program on one core of the cluster."""
+
+    def __init__(
+        self,
+        program: Program,
+        core_id: int,
+        memory: SharedL1Memory,
+        stack_pointer: int | None = None,
+        icache: InstructionCache | None = None,
+        argument_registers: dict[int, int] | None = None,
+        max_instructions: int = 5_000_000,
+    ) -> None:
+        self.core = SnitchCore(program, core_id=core_id, sp=stack_pointer)
+        self.memory = memory
+        self.icache = icache
+        self.max_instructions = max_instructions
+        #: Architectural registers with a load in flight, mapped to load tags.
+        self._pending_registers: dict[int, object] = {}
+        self._next_tag = 0
+        if argument_registers:
+            for register, value in argument_registers.items():
+                self.core.registers.write(register, value)
+
+    # ------------------------------------------------------------------ #
+    # CoreAgent interface
+    # ------------------------------------------------------------------ #
+
+    def operations(self):
+        core = self.core
+        while not core.halted:
+            if core.instructions_executed >= self.max_instructions:
+                raise RuntimeError(
+                    f"core {core.core_id} exceeded {self.max_instructions} "
+                    f"instructions at pc {core.pc:#x}"
+                )
+            instruction = core.current_instruction()
+            # Wait for any in-flight load whose result this instruction reads.
+            for register in self._source_registers(instruction):
+                tag = self._pending_registers.pop(register, None)
+                if tag is not None:
+                    yield Use(tag)
+            if instruction.rd in self._pending_registers and not (
+                instruction.instruction_class
+                in (InstructionClass.LOAD, InstructionClass.AMO)
+            ):
+                # Write-after-write on a pending load destination: wait too.
+                yield Use(self._pending_registers.pop(instruction.rd))
+            if self.icache is not None:
+                penalty = self.icache.fetch_penalty(core.pc)
+                if penalty:
+                    yield Compute(penalty)
+            access = core.execute(instruction, self.memory)
+            yield from self._timing_for(instruction, access)
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _source_registers(instruction) -> tuple[int, ...]:
+        cls = instruction.instruction_class
+        if cls in (InstructionClass.LOAD,):
+            return (instruction.rs1,)
+        if cls in (InstructionClass.STORE, InstructionClass.AMO):
+            return (instruction.rs1, instruction.rs2)
+        if cls in (InstructionClass.BRANCH,):
+            return (instruction.rs1, instruction.rs2)
+        if cls is InstructionClass.JUMP:
+            return (instruction.rs1,) if instruction.mnemonic == "jalr" else ()
+        if instruction.mnemonic in ("lui", "auipc"):
+            return ()
+        return (instruction.rs1, instruction.rs2)
+
+    def _timing_for(self, instruction, access):
+        cls = instruction.instruction_class
+        if cls in (InstructionClass.LOAD, InstructionClass.AMO):
+            tag = self._next_tag
+            self._next_tag += 1
+            if access is not None and access.destination not in (None, 0):
+                self._pending_registers[access.destination] = tag
+            yield Load(access.address, tag=tag)
+            return
+        if cls is InstructionClass.STORE:
+            yield Store(access.address)
+            return
+        if cls is InstructionClass.MUL:
+            yield Compute(1, muls=1)
+            return
+        if cls is InstructionClass.DIV:
+            yield Compute(DIV_CYCLES, muls=1)
+            return
+        # ALU, branches, jumps and system instructions: one cycle each.
+        yield Compute(1)
+
+
+def make_snitch_agents(
+    cluster,
+    program: Program,
+    cores: list[int] | None = None,
+    argument_builder=None,
+    use_icache: bool = True,
+) -> dict[int, SnitchAgent]:
+    """Build one :class:`SnitchAgent` per core for a shared program.
+
+    ``argument_builder(core_id)`` may return a ``{register_index: value}``
+    mapping (e.g. the core index in ``a0``) so that all cores can run the
+    same binary, exactly as MemPool programs do.  Cores of the same tile
+    share one instruction cache, mirroring the real tile organisation.
+    """
+    config = cluster.config
+    cores = list(range(config.num_cores)) if cores is None else list(cores)
+    icaches: dict[int, InstructionCache] = {}
+    agents: dict[int, SnitchAgent] = {}
+    for core_id in cores:
+        tile = config.tile_of_core(core_id)
+        if use_icache and tile not in icaches:
+            icaches[tile] = InstructionCache(
+                capacity_bytes=config.icache_bytes_per_tile,
+                ways=config.icache_ways,
+                line_bytes=config.icache_line_bytes,
+                refill_cycles=config.timing.icache_refill_cycles,
+            )
+        arguments = argument_builder(core_id) if argument_builder else None
+        agents[core_id] = SnitchAgent(
+            program,
+            core_id=core_id,
+            memory=cluster.memory,
+            stack_pointer=cluster.layout.stack_pointer(core_id),
+            icache=icaches.get(tile) if use_icache else None,
+            argument_registers=arguments,
+        )
+    return agents

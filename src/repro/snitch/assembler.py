@@ -1,0 +1,318 @@
+"""A small two-pass assembler for the RV32IM(+A) subset of the ISS.
+
+The assembler accepts standard RISC-V assembly syntax (labels, comments,
+ABI register names, the common pseudo-instructions) and produces a
+:class:`Program` of decoded :class:`~repro.snitch.isa.Instruction` objects.
+Because the ISS executes decoded instructions rather than binary encodings,
+branch and jump targets are stored as absolute byte addresses in the ``imm``
+field.
+
+External symbols (data addresses, per-core constants such as the stack
+pointer) are provided through the ``symbols`` mapping, which is how the
+example programs reference buffers allocated by
+:class:`repro.addressing.layout.MemoryLayout`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.snitch.isa import (
+    ALU_RI_OPS,
+    ALU_RR_OPS,
+    AMO_OPS,
+    BRANCH_OPS,
+    DIV_OPS,
+    Instruction,
+    LOAD_OPS,
+    MUL_OPS,
+    STORE_OPS,
+    UPPER_OPS,
+)
+from repro.snitch.registers import register_index
+
+
+class AssemblerError(ValueError):
+    """Raised for any syntax or semantic error in the assembly source."""
+
+
+@dataclass
+class Program:
+    """An assembled program."""
+
+    instructions: list[Instruction]
+    labels: dict[str, int] = field(default_factory=dict)
+    source_name: str = "<program>"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def at(self, pc: int) -> Instruction:
+        """Instruction at byte address ``pc``."""
+        index = pc // 4
+        if pc % 4 != 0 or not 0 <= index < len(self.instructions):
+            raise ValueError(f"pc {pc:#x} outside program [0, {4 * len(self):#x})")
+        return self.instructions[index]
+
+    def address_of(self, label: str) -> int:
+        if label not in self.labels:
+            raise KeyError(f"unknown label {label!r}")
+        return self.labels[label]
+
+
+_SIGNED_12_MIN = -2048
+_SIGNED_12_MAX = 2047
+
+
+def _tokenize_operands(text: str) -> list[str]:
+    return [token.strip() for token in text.split(",") if token.strip()]
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", "//", ";"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+class _Assembler:
+    def __init__(self, source: str, symbols: dict[str, int] | None, name: str) -> None:
+        self.source = source
+        self.symbols = dict(symbols or {})
+        self.name = name
+        self.labels: dict[str, int] = {}
+        self.instructions: list[Instruction] = []
+
+    # -- pass 1: labels ------------------------------------------------- #
+
+    def _parse_lines(self) -> list[tuple[int, str]]:
+        """Return (line_number, statement) pairs with labels collected."""
+        statements: list[tuple[int, str]] = []
+        pc = 0
+        for number, raw in enumerate(self.source.splitlines(), start=1):
+            line = _strip_comment(raw)
+            if not line:
+                continue
+            while ":" in line:
+                label, _, rest = line.partition(":")
+                label = label.strip()
+                if not label or " " in label:
+                    raise AssemblerError(
+                        f"{self.name}:{number}: invalid label {label!r}"
+                    )
+                if label in self.labels:
+                    raise AssemblerError(
+                        f"{self.name}:{number}: duplicate label {label!r}"
+                    )
+                self.labels[label] = pc
+                line = rest.strip()
+            if not line:
+                continue
+            if line.startswith("."):
+                # Directives (.text, .globl, .align …) carry no code here.
+                continue
+            statements.append((number, line))
+            pc += 4 * self._statement_size(line)
+        return statements
+
+    @staticmethod
+    def _statement_size(line: str) -> int:
+        """Number of instructions a statement expands to (deterministic).
+
+        ``li`` and ``la`` always expand to ``lui`` + ``addi`` so that label
+        addresses can be computed before operand values are known.
+        """
+        mnemonic = line.split(None, 1)[0].lower()
+        return 2 if mnemonic in ("li", "la") else 1
+
+    # -- value / operand parsing ----------------------------------------- #
+
+    def _resolve_value(self, text: str, number: int, allow_label: bool = False) -> int:
+        token = text.strip()
+        for separator in ("+", "-"):
+            # allow "symbol+offset" / "symbol-offset" (single operator only)
+            index = token.rfind(separator)
+            if index > 0 and not token[:index].strip().lstrip("-").isdigit():
+                base = self._resolve_value(token[:index], number, allow_label)
+                offset = self._resolve_value(token[index + 1 :], number)
+                return base + offset if separator == "+" else base - offset
+        try:
+            return int(token, 0)
+        except ValueError:
+            pass
+        if token in self.symbols:
+            return self.symbols[token]
+        if allow_label and token in self.labels:
+            return self.labels[token]
+        raise AssemblerError(f"{self.name}:{number}: cannot resolve value {token!r}")
+
+    def _register(self, text: str, number: int) -> int:
+        try:
+            return register_index(text)
+        except ValueError as error:
+            raise AssemblerError(f"{self.name}:{number}: {error}") from error
+
+    def _memory_operand(self, text: str, number: int) -> tuple[int, int]:
+        """Parse ``imm(rs1)`` into (imm, rs1)."""
+        token = text.strip()
+        if not token.endswith(")") or "(" not in token:
+            raise AssemblerError(
+                f"{self.name}:{number}: expected memory operand 'imm(reg)', got {text!r}"
+            )
+        imm_text, _, reg_text = token[:-1].partition("(")
+        imm = self._resolve_value(imm_text, number) if imm_text.strip() else 0
+        return imm, self._register(reg_text, number)
+
+    # -- pass 2: encode --------------------------------------------------- #
+
+    def assemble(self) -> Program:
+        statements = self._parse_lines()
+        self.instructions = []
+        for number, line in statements:
+            for instruction in self._expand(line, number):
+                self.instructions.append(instruction)
+        # Re-resolve branch targets now that all labels are known (labels are
+        # collected in pass 1, so this is only a consistency check).
+        return Program(self.instructions, dict(self.labels), self.name)
+
+    def _emit(self, mnemonic: str, number: int, line: str, **fields) -> Instruction:
+        try:
+            return Instruction(mnemonic=mnemonic, source=line, **fields)
+        except ValueError as error:
+            raise AssemblerError(f"{self.name}:{number}: {error}") from error
+
+    def _branch_target(self, text: str, number: int) -> int:
+        token = text.strip()
+        if token in self.labels:
+            return self.labels[token]
+        return self._resolve_value(token, number, allow_label=True)
+
+    def _expand(self, line: str, number: int) -> list[Instruction]:
+        mnemonic, _, operand_text = line.partition(" ")
+        mnemonic = mnemonic.strip().lower()
+        operands = _tokenize_operands(operand_text)
+
+        def reg(index: int) -> int:
+            if index >= len(operands):
+                raise AssemblerError(
+                    f"{self.name}:{number}: missing operand {index + 1} in {line!r}"
+                )
+            return self._register(operands[index], number)
+
+        def val(index: int, allow_label: bool = False) -> int:
+            if index >= len(operands):
+                raise AssemblerError(
+                    f"{self.name}:{number}: missing operand {index + 1} in {line!r}"
+                )
+            return self._resolve_value(operands[index], number, allow_label)
+
+        # ----- pseudo-instructions ------------------------------------- #
+        if mnemonic == "nop":
+            return [self._emit("addi", number, line, rd=0, rs1=0, imm=0)]
+        if mnemonic == "mv":
+            return [self._emit("addi", number, line, rd=reg(0), rs1=reg(1), imm=0)]
+        if mnemonic == "neg":
+            return [self._emit("sub", number, line, rd=reg(0), rs1=0, rs2=reg(1))]
+        if mnemonic == "not":
+            return [self._emit("xori", number, line, rd=reg(0), rs1=reg(1), imm=-1)]
+        if mnemonic == "seqz":
+            return [self._emit("sltiu", number, line, rd=reg(0), rs1=reg(1), imm=1)]
+        if mnemonic == "snez":
+            return [self._emit("sltu", number, line, rd=reg(0), rs1=0, rs2=reg(1))]
+        if mnemonic in ("li", "la"):
+            # Always expanded to lui + addi so the statement size is fixed.
+            destination = reg(0)
+            value = val(1, allow_label=True)
+            upper = (value + 0x800) >> 12
+            lower = value - (upper << 12)
+            return [
+                self._emit("lui", number, line, rd=destination, imm=upper & 0xFFFFF),
+                self._emit("addi", number, line, rd=destination, rs1=destination, imm=lower),
+            ]
+        if mnemonic == "j":
+            return [self._emit("jal", number, line, rd=0, imm=self._branch_target(operands[0], number))]
+        if mnemonic == "jr":
+            return [self._emit("jalr", number, line, rd=0, rs1=reg(0), imm=0)]
+        if mnemonic == "ret":
+            return [self._emit("jalr", number, line, rd=0, rs1=1, imm=0)]
+        if mnemonic == "call":
+            return [self._emit("jal", number, line, rd=1, imm=self._branch_target(operands[0], number))]
+        if mnemonic == "beqz":
+            return [self._emit("beq", number, line, rs1=reg(0), rs2=0,
+                               imm=self._branch_target(operands[1], number))]
+        if mnemonic == "bnez":
+            return [self._emit("bne", number, line, rs1=reg(0), rs2=0,
+                               imm=self._branch_target(operands[1], number))]
+        if mnemonic == "bltz":
+            return [self._emit("blt", number, line, rs1=reg(0), rs2=0,
+                               imm=self._branch_target(operands[1], number))]
+        if mnemonic == "bgez":
+            return [self._emit("bge", number, line, rs1=reg(0), rs2=0,
+                               imm=self._branch_target(operands[1], number))]
+        if mnemonic == "blez":
+            return [self._emit("bge", number, line, rs1=0, rs2=reg(0),
+                               imm=self._branch_target(operands[1], number))]
+        if mnemonic == "bgtz":
+            return [self._emit("blt", number, line, rs1=0, rs2=reg(0),
+                               imm=self._branch_target(operands[1], number))]
+        if mnemonic == "ble":
+            return [self._emit("bge", number, line, rs1=reg(1), rs2=reg(0),
+                               imm=self._branch_target(operands[2], number))]
+        if mnemonic == "bgt":
+            return [self._emit("blt", number, line, rs1=reg(1), rs2=reg(0),
+                               imm=self._branch_target(operands[2], number))]
+
+        # ----- native instructions -------------------------------------- #
+        if mnemonic in ALU_RR_OPS or mnemonic in MUL_OPS or mnemonic in DIV_OPS:
+            return [self._emit(mnemonic, number, line, rd=reg(0), rs1=reg(1), rs2=reg(2))]
+        if mnemonic in ALU_RI_OPS:
+            return [self._emit(mnemonic, number, line, rd=reg(0), rs1=reg(1), imm=val(2))]
+        if mnemonic in UPPER_OPS:
+            return [self._emit(mnemonic, number, line, rd=reg(0), imm=val(1))]
+        if mnemonic in LOAD_OPS:
+            imm, rs1 = self._memory_operand(operands[1], number)
+            return [self._emit(mnemonic, number, line, rd=reg(0), rs1=rs1, imm=imm)]
+        if mnemonic in STORE_OPS:
+            imm, rs1 = self._memory_operand(operands[1], number)
+            return [self._emit(mnemonic, number, line, rs2=reg(0), rs1=rs1, imm=imm)]
+        if mnemonic in AMO_OPS:
+            imm, rs1 = self._memory_operand(operands[2], number)
+            if imm != 0:
+                raise AssemblerError(
+                    f"{self.name}:{number}: atomics take a plain (reg) operand"
+                )
+            return [self._emit(mnemonic, number, line, rd=reg(0), rs2=reg(1), rs1=rs1)]
+        if mnemonic in BRANCH_OPS:
+            return [self._emit(mnemonic, number, line, rs1=reg(0), rs2=reg(1),
+                               imm=self._branch_target(operands[2], number))]
+        if mnemonic == "jal":
+            if len(operands) == 1:
+                return [self._emit("jal", number, line, rd=1,
+                                   imm=self._branch_target(operands[0], number))]
+            return [self._emit("jal", number, line, rd=reg(0),
+                               imm=self._branch_target(operands[1], number))]
+        if mnemonic == "jalr":
+            if len(operands) == 1:
+                return [self._emit("jalr", number, line, rd=1, rs1=reg(0), imm=0)]
+            if len(operands) == 2 and "(" in operands[1]:
+                imm, rs1 = self._memory_operand(operands[1], number)
+                return [self._emit("jalr", number, line, rd=reg(0), rs1=rs1, imm=imm)]
+            return [self._emit("jalr", number, line, rd=reg(0), rs1=reg(1), imm=val(2))]
+        if mnemonic in ("ecall", "ebreak", "wfi", "fence"):
+            return [self._emit(mnemonic, number, line)]
+        raise AssemblerError(f"{self.name}:{number}: unknown instruction {mnemonic!r}")
+
+
+def assemble(
+    source: str,
+    symbols: dict[str, int] | None = None,
+    name: str = "<program>",
+) -> Program:
+    """Assemble ``source`` into a :class:`Program`.
+
+    ``symbols`` maps external symbol names (data buffers, per-core constants)
+    to their values; they can be used wherever an immediate is expected and
+    with the ``li`` / ``la`` pseudo-instructions.
+    """
+    return _Assembler(source, symbols, name).assemble()

@@ -1,0 +1,278 @@
+"""Functional execution model of the Snitch core (RV32IM + A subset).
+
+The core executes decoded instructions against a word-addressable memory.
+It can run stand-alone ("magic" single-cycle memory, used by unit tests and
+for functional verification of programs) or be driven instruction by
+instruction by :class:`repro.snitch.agent.SnitchAgent`, which converts the
+memory operations into timing-model requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.memory import SharedL1Memory, to_signed, to_unsigned
+from repro.snitch.assembler import Program
+from repro.snitch.isa import Instruction, InstructionClass
+from repro.snitch.registers import RegisterFile
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a program performs an illegal operation."""
+
+
+@dataclass
+class MemoryAccess:
+    """Description of the memory side-effect of one executed instruction."""
+
+    is_store: bool
+    address: int
+    #: Destination register of a load/AMO (None for plain stores).
+    destination: int | None = None
+
+
+@dataclass
+class ExecutionResult:
+    """Summary of a stand-alone functional run."""
+
+    instructions_executed: int
+    pc: int
+    exited: bool
+    instruction_mix: dict[InstructionClass, int] = field(default_factory=dict)
+
+
+class SnitchCore:
+    """One RV32IM(+A) hart executing a :class:`Program`."""
+
+    def __init__(self, program: Program, core_id: int = 0, sp: int | None = None) -> None:
+        self.program = program
+        self.core_id = core_id
+        self.registers = RegisterFile()
+        self.pc = 0
+        self.halted = False
+        self.instruction_mix: dict[InstructionClass, int] = {}
+        self.instructions_executed = 0
+        if sp is not None:
+            self.registers.write(2, sp)
+
+    # ------------------------------------------------------------------ #
+    # Single-instruction execution
+    # ------------------------------------------------------------------ #
+
+    def current_instruction(self) -> Instruction:
+        return self.program.at(self.pc)
+
+    def execute(self, instruction: Instruction, memory: SharedL1Memory) -> MemoryAccess | None:
+        """Execute one instruction; return its memory access, if any."""
+        if self.halted:
+            raise ExecutionError(f"core {self.core_id} is halted")
+        registers = self.registers
+        mnemonic = instruction.mnemonic
+        cls = instruction.instruction_class
+        self.instruction_mix[cls] = self.instruction_mix.get(cls, 0) + 1
+        self.instructions_executed += 1
+        next_pc = self.pc + 4
+        access: MemoryAccess | None = None
+
+        rs1 = registers.read(instruction.rs1)
+        rs2 = registers.read(instruction.rs2)
+        rs1_u = registers.read_unsigned(instruction.rs1)
+        rs2_u = registers.read_unsigned(instruction.rs2)
+        imm = instruction.imm
+
+        if cls is InstructionClass.ALU:
+            registers.write(instruction.rd, self._alu(mnemonic, rs1, rs2, rs1_u, rs2_u, imm))
+        elif cls is InstructionClass.MUL:
+            registers.write(instruction.rd, self._multiply(mnemonic, rs1, rs2, rs1_u, rs2_u))
+        elif cls is InstructionClass.DIV:
+            registers.write(instruction.rd, self._divide(mnemonic, rs1, rs2, rs1_u, rs2_u))
+        elif cls is InstructionClass.LOAD:
+            address = to_unsigned(rs1 + imm)
+            registers.write(instruction.rd, self._load(mnemonic, address, memory))
+            access = MemoryAccess(is_store=False, address=address, destination=instruction.rd)
+        elif cls is InstructionClass.STORE:
+            address = to_unsigned(rs1 + imm)
+            self._store(mnemonic, address, rs2_u, memory)
+            access = MemoryAccess(is_store=True, address=address)
+        elif cls is InstructionClass.AMO:
+            address = to_unsigned(rs1)
+            previous = self._amo(mnemonic, address, rs2_u, memory)
+            registers.write(instruction.rd, previous)
+            access = MemoryAccess(is_store=False, address=address, destination=instruction.rd)
+        elif cls is InstructionClass.BRANCH:
+            if self._branch_taken(mnemonic, rs1, rs2, rs1_u, rs2_u):
+                next_pc = imm
+        elif cls is InstructionClass.JUMP:
+            registers.write(instruction.rd, self.pc + 4)
+            if mnemonic == "jal":
+                next_pc = imm
+            else:  # jalr
+                next_pc = to_unsigned(rs1 + imm) & ~1
+        elif cls is InstructionClass.SYSTEM:
+            if instruction.is_terminator:
+                self.halted = True
+            # fence / csr accesses are no-ops for this model.
+        else:  # pragma: no cover - classify() covers every mnemonic
+            raise ExecutionError(f"unhandled instruction {instruction}")
+
+        if not self.halted:
+            if next_pc % 4 != 0 or next_pc // 4 >= len(self.program) or next_pc < 0:
+                if next_pc == 4 * len(self.program):
+                    # Falling off the end of the program terminates it.
+                    self.halted = True
+                else:
+                    raise ExecutionError(
+                        f"core {self.core_id}: jump to invalid pc {next_pc:#x} "
+                        f"from {instruction.source!r}"
+                    )
+            self.pc = next_pc
+        return access
+
+    # ------------------------------------------------------------------ #
+    # Stand-alone functional run (magic memory)
+    # ------------------------------------------------------------------ #
+
+    def run(self, memory: SharedL1Memory, max_instructions: int = 1_000_000) -> ExecutionResult:
+        """Execute until the program halts (or ``max_instructions`` is hit)."""
+        while not self.halted:
+            if self.instructions_executed >= max_instructions:
+                raise ExecutionError(
+                    f"core {self.core_id} exceeded {max_instructions} instructions "
+                    f"(pc={self.pc:#x})"
+                )
+            self.execute(self.current_instruction(), memory)
+        return ExecutionResult(
+            instructions_executed=self.instructions_executed,
+            pc=self.pc,
+            exited=True,
+            instruction_mix=dict(self.instruction_mix),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Operation helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _alu(mnemonic, rs1, rs2, rs1_u, rs2_u, imm) -> int:
+        shamt_imm = imm & 0x1F
+        shamt_reg = rs2_u & 0x1F
+        operations = {
+            "add": lambda: rs1 + rs2,
+            "sub": lambda: rs1 - rs2,
+            "and": lambda: rs1_u & rs2_u,
+            "or": lambda: rs1_u | rs2_u,
+            "xor": lambda: rs1_u ^ rs2_u,
+            "sll": lambda: rs1_u << shamt_reg,
+            "srl": lambda: rs1_u >> shamt_reg,
+            "sra": lambda: rs1 >> shamt_reg,
+            "slt": lambda: int(rs1 < rs2),
+            "sltu": lambda: int(rs1_u < rs2_u),
+            "addi": lambda: rs1 + imm,
+            "andi": lambda: rs1_u & to_unsigned(imm),
+            "ori": lambda: rs1_u | to_unsigned(imm),
+            "xori": lambda: rs1_u ^ to_unsigned(imm),
+            "slli": lambda: rs1_u << shamt_imm,
+            "srli": lambda: rs1_u >> shamt_imm,
+            "srai": lambda: rs1 >> shamt_imm,
+            "slti": lambda: int(rs1 < imm),
+            "sltiu": lambda: int(rs1_u < to_unsigned(imm)),
+            "lui": lambda: imm << 12,
+            "auipc": lambda: imm << 12,  # pc-relative addressing is not used
+        }
+        return operations[mnemonic]()
+
+    @staticmethod
+    def _multiply(mnemonic, rs1, rs2, rs1_u, rs2_u) -> int:
+        if mnemonic == "mul":
+            return rs1 * rs2
+        if mnemonic == "mulh":
+            return (rs1 * rs2) >> 32
+        if mnemonic == "mulhu":
+            return (rs1_u * rs2_u) >> 32
+        if mnemonic == "mulhsu":
+            return (rs1 * rs2_u) >> 32
+        raise ExecutionError(f"unknown multiply {mnemonic}")
+
+    @staticmethod
+    def _divide(mnemonic, rs1, rs2, rs1_u, rs2_u) -> int:
+        if mnemonic == "div":
+            if rs2 == 0:
+                return -1
+            return int(abs(rs1) // abs(rs2)) * (1 if (rs1 < 0) == (rs2 < 0) else -1)
+        if mnemonic == "divu":
+            return 0xFFFF_FFFF if rs2_u == 0 else rs1_u // rs2_u
+        if mnemonic == "rem":
+            if rs2 == 0:
+                return rs1
+            return rs1 - rs2 * (int(abs(rs1) // abs(rs2)) * (1 if (rs1 < 0) == (rs2 < 0) else -1))
+        if mnemonic == "remu":
+            return rs1_u if rs2_u == 0 else rs1_u % rs2_u
+        raise ExecutionError(f"unknown divide {mnemonic}")
+
+    @staticmethod
+    def _branch_taken(mnemonic, rs1, rs2, rs1_u, rs2_u) -> bool:
+        comparisons = {
+            "beq": rs1 == rs2,
+            "bne": rs1 != rs2,
+            "blt": rs1 < rs2,
+            "bge": rs1 >= rs2,
+            "bltu": rs1_u < rs2_u,
+            "bgeu": rs1_u >= rs2_u,
+        }
+        return comparisons[mnemonic]
+
+    @staticmethod
+    def _load(mnemonic, address, memory: SharedL1Memory) -> int:
+        word_address = address & ~3
+        word = memory.read_word(word_address)
+        if mnemonic == "lw":
+            if address % 4 != 0:
+                raise ExecutionError(f"unaligned lw at {address:#x}")
+            return word
+        byte_offset = address & 3
+        if mnemonic in ("lh", "lhu"):
+            if address % 2 != 0:
+                raise ExecutionError(f"unaligned lh at {address:#x}")
+            half = (word >> (8 * byte_offset)) & 0xFFFF
+            if mnemonic == "lh" and half & 0x8000:
+                half -= 0x10000
+            return half
+        byte = (word >> (8 * byte_offset)) & 0xFF
+        if mnemonic == "lb" and byte & 0x80:
+            byte -= 0x100
+        return byte
+
+    @staticmethod
+    def _store(mnemonic, address, value, memory: SharedL1Memory) -> None:
+        word_address = address & ~3
+        if mnemonic == "sw":
+            if address % 4 != 0:
+                raise ExecutionError(f"unaligned sw at {address:#x}")
+            memory.write_word(word_address, value)
+            return
+        word = memory.read_word(word_address)
+        byte_offset = address & 3
+        if mnemonic == "sh":
+            if address % 2 != 0:
+                raise ExecutionError(f"unaligned sh at {address:#x}")
+            mask = 0xFFFF << (8 * byte_offset)
+            word = (word & ~mask) | ((value & 0xFFFF) << (8 * byte_offset))
+        else:  # sb
+            mask = 0xFF << (8 * byte_offset)
+            word = (word & ~mask) | ((value & 0xFF) << (8 * byte_offset))
+        memory.write_word(word_address, word)
+
+    @staticmethod
+    def _amo(mnemonic, address, value, memory: SharedL1Memory) -> int:
+        if address % 4 != 0:
+            raise ExecutionError(f"unaligned atomic at {address:#x}")
+        if mnemonic == "amoadd.w":
+            return memory.amo_add(address, value)
+        if mnemonic == "amoswap.w":
+            return memory.amo_swap(address, value)
+        raise ExecutionError(f"unknown atomic {mnemonic}")
+
+
+def signed(value: int) -> int:
+    """Convenience re-export used by tests."""
+    return to_signed(value)

@@ -1,0 +1,85 @@
+"""Per-tile L1 instruction-cache model.
+
+Each MemPool tile has a 4-way, 2 KiB shared instruction cache with a 32-bit
+AXI refill port (Section III-B).  The benchmarks of the paper are small
+loops that fit in the cache, so the cache's role in the timing model is
+limited to cold misses; its main consumers are the statistics used by the
+energy and power models (instruction fetches dominate the tile's power,
+Section VI-D).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class ICacheStats:
+    """Hit/miss counters of one instruction cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class InstructionCache:
+    """A set-associative instruction cache with LRU replacement."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 2048,
+        ways: int = 4,
+        line_bytes: int = 32,
+        refill_cycles: int = 20,
+    ) -> None:
+        if capacity_bytes % (ways * line_bytes) != 0:
+            raise ValueError(
+                "capacity must be a multiple of ways * line size "
+                f"({capacity_bytes} % {ways * line_bytes})"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.refill_cycles = refill_cycles
+        self.num_sets = capacity_bytes // (ways * line_bytes)
+        # One LRU-ordered dict of tags per set.
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = ICacheStats()
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, address: int) -> bool:
+        """Fetch the line containing ``address``; return True on a hit."""
+        set_index, tag = self._locate(address)
+        cache_set = self._sets[set_index]
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        cache_set[tag] = None
+        cache_set.move_to_end(tag)
+        if len(cache_set) > self.ways:
+            cache_set.popitem(last=False)
+        self.stats.misses += 1
+        return False
+
+    def fetch_penalty(self, address: int) -> int:
+        """Extra cycles the fetch of ``address`` costs (0 on a hit)."""
+        return 0 if self.access(address) else self.refill_cycles
+
+    def flush(self) -> None:
+        """Invalidate the whole cache."""
+        for cache_set in self._sets:
+            cache_set.clear()

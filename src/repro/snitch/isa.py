@@ -1,0 +1,122 @@
+"""Instruction representation and classification for the RV32IM(+A) subset.
+
+The simulator works at the assembly level: instructions are kept as decoded
+objects (mnemonic plus operand fields) rather than 32-bit encodings, which is
+all an architectural timing/energy model needs.  The supported subset covers
+the instructions the Snitch core executes in the paper's benchmarks:
+
+* RV32I integer ALU, loads/stores (word granularity), branches, jumps;
+* the M extension (``mul``/``mulh``/``mulhu``/``mulhsu``/``div``/``divu``/
+  ``rem``/``remu``);
+* the two A-extension atomics MemPool uses for synchronisation
+  (``amoadd.w``, ``amoswap.w``);
+* ``ecall`` / ``ebreak`` / ``wfi`` as program terminators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class InstructionClass(enum.Enum):
+    """Coarse classes used by the timing and energy models."""
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    LOAD = "load"
+    STORE = "store"
+    AMO = "amo"
+    BRANCH = "branch"
+    JUMP = "jump"
+    SYSTEM = "system"
+
+
+#: Register-register ALU operations.
+ALU_RR_OPS = frozenset({
+    "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+})
+#: Register-immediate ALU operations.
+ALU_RI_OPS = frozenset({
+    "addi", "slti", "sltiu", "xori", "ori", "andi", "slli", "srli", "srai",
+})
+#: Upper-immediate operations.
+UPPER_OPS = frozenset({"lui", "auipc"})
+#: Multiply operations (single-cycle on Snitch).
+MUL_OPS = frozenset({"mul", "mulh", "mulhu", "mulhsu"})
+#: Divide/remainder operations.
+DIV_OPS = frozenset({"div", "divu", "rem", "remu"})
+#: Load operations (word/halfword/byte).
+LOAD_OPS = frozenset({"lw", "lh", "lhu", "lb", "lbu"})
+#: Store operations.
+STORE_OPS = frozenset({"sw", "sh", "sb"})
+#: Atomic memory operations.
+AMO_OPS = frozenset({"amoadd.w", "amoswap.w"})
+#: Conditional branches.
+BRANCH_OPS = frozenset({"beq", "bne", "blt", "bge", "bltu", "bgeu"})
+#: Unconditional jumps.
+JUMP_OPS = frozenset({"jal", "jalr"})
+#: System/terminator instructions.
+SYSTEM_OPS = frozenset({"ecall", "ebreak", "wfi", "fence", "csrr", "csrw"})
+
+ALL_OPS = (
+    ALU_RR_OPS | ALU_RI_OPS | UPPER_OPS | MUL_OPS | DIV_OPS | LOAD_OPS
+    | STORE_OPS | AMO_OPS | BRANCH_OPS | JUMP_OPS | SYSTEM_OPS
+)
+
+
+def classify(mnemonic: str) -> InstructionClass:
+    """Return the coarse class of a mnemonic."""
+    if mnemonic in ALU_RR_OPS or mnemonic in ALU_RI_OPS or mnemonic in UPPER_OPS:
+        return InstructionClass.ALU
+    if mnemonic in MUL_OPS:
+        return InstructionClass.MUL
+    if mnemonic in DIV_OPS:
+        return InstructionClass.DIV
+    if mnemonic in LOAD_OPS:
+        return InstructionClass.LOAD
+    if mnemonic in STORE_OPS:
+        return InstructionClass.STORE
+    if mnemonic in AMO_OPS:
+        return InstructionClass.AMO
+    if mnemonic in BRANCH_OPS:
+        return InstructionClass.BRANCH
+    if mnemonic in JUMP_OPS:
+        return InstructionClass.JUMP
+    if mnemonic in SYSTEM_OPS:
+        return InstructionClass.SYSTEM
+    raise ValueError(f"unknown mnemonic {mnemonic!r}")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    #: Source line (for diagnostics).
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mnemonic not in ALL_OPS:
+            raise ValueError(f"unsupported mnemonic {self.mnemonic!r}")
+
+    @property
+    def instruction_class(self) -> InstructionClass:
+        return classify(self.mnemonic)
+
+    @property
+    def is_memory(self) -> bool:
+        cls = self.instruction_class
+        return cls in (InstructionClass.LOAD, InstructionClass.STORE, InstructionClass.AMO)
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.mnemonic in ("ecall", "ebreak", "wfi")
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        return self.source or self.mnemonic

@@ -1,0 +1,149 @@
+"""Ready-made RV32IM assembly programs for the Snitch ISS.
+
+These programs demonstrate (and test) the full functional path: assembly
+source -> assembler -> ISS -> timing model.  Each builder returns the
+assembly text plus the symbol table it expects; all cores run the same binary
+and find out who they are from ``a0`` (core id) and ``a1`` (core count),
+mirroring how real MemPool binaries are written.
+"""
+
+from __future__ import annotations
+
+
+def vector_add_source() -> str:
+    """``c[i] = a[i] + b[i]`` with the elements distributed across cores.
+
+    Symbols: ``vec_a``, ``vec_b``, ``vec_c`` (word arrays), ``vec_len``.
+    Arguments: ``a0`` = core id, ``a1`` = number of cores.
+    """
+    return """
+    # a0 = core id, a1 = number of cores
+    la   t0, vec_a
+    la   t1, vec_b
+    la   t2, vec_c
+    li   t3, vec_len          # number of elements
+    mv   t4, a0               # i = core_id
+loop:
+    bge  t4, t3, done
+    slli t5, t4, 2            # byte offset
+    add  t6, t0, t5
+    lw   s0, 0(t6)            # a[i]
+    add  t6, t1, t5
+    lw   s1, 0(t6)            # b[i]
+    add  s2, s0, s1
+    add  t6, t2, t5
+    sw   s2, 0(t6)            # c[i]
+    add  t4, t4, a1           # i += num_cores
+    j    loop
+done:
+    ecall
+"""
+
+
+def dot_product_source() -> str:
+    """Parallel dot product with an atomic reduction into ``dot_result``.
+
+    Each core accumulates a strided partial sum locally and adds it to the
+    shared result with ``amoadd.w``.
+    Symbols: ``vec_a``, ``vec_b``, ``vec_len``, ``dot_result``.
+    Arguments: ``a0`` = core id, ``a1`` = number of cores.
+    """
+    return """
+    la   t0, vec_a
+    la   t1, vec_b
+    li   t2, vec_len
+    mv   t3, a0               # i = core_id
+    li   s0, 0                # partial sum
+loop:
+    bge  t3, t2, reduce
+    slli t4, t3, 2
+    add  t5, t0, t4
+    lw   s1, 0(t5)
+    add  t5, t1, t4
+    lw   s2, 0(t5)
+    mul  s3, s1, s2
+    add  s0, s0, s3
+    add  t3, t3, a1
+    j    loop
+reduce:
+    la   t6, dot_result
+    amoadd.w zero, s0, (t6)
+    ecall
+"""
+
+
+def matmul_source() -> str:
+    """``C = A x B`` on ``mat_n`` x ``mat_n`` matrices, one output element at a time.
+
+    Output elements are distributed cyclically across cores.
+    Symbols: ``mat_a``, ``mat_b``, ``mat_c``, ``mat_n``.
+    Arguments: ``a0`` = core id, ``a1`` = number of cores.
+    """
+    return """
+    la   s0, mat_a
+    la   s1, mat_b
+    la   s2, mat_c
+    li   s3, mat_n            # n
+    mul  s4, s3, s3           # n*n elements
+    mv   s5, a0               # element index = core id
+elem_loop:
+    bge  s5, s4, done
+    div  s6, s5, s3           # row
+    rem  s7, s5, s3           # col
+    li   s8, 0                # acc
+    li   s9, 0                # k
+k_loop:
+    bge  s9, s3, store
+    # a[row][k]
+    mul  t0, s6, s3
+    add  t0, t0, s9
+    slli t0, t0, 2
+    add  t0, t0, s0
+    lw   t1, 0(t0)
+    # b[k][col]
+    mul  t2, s9, s3
+    add  t2, t2, s7
+    slli t2, t2, 2
+    add  t2, t2, s1
+    lw   t3, 0(t2)
+    mul  t4, t1, t3
+    add  s8, s8, t4
+    addi s9, s9, 1
+    j    k_loop
+store:
+    mul  t5, s6, s3
+    add  t5, t5, s7
+    slli t5, t5, 2
+    add  t5, t5, s2
+    sw   s8, 0(t5)
+    add  s5, s5, a1           # next element for this core
+    j    elem_loop
+done:
+    ecall
+"""
+
+
+def reduction_tree_source() -> str:
+    """Sum of a vector using per-core partial sums and an atomic reduction.
+
+    Symbols: ``vec_a``, ``vec_len``, ``sum_result``.
+    Arguments: ``a0`` = core id, ``a1`` = number of cores.
+    """
+    return """
+    la   t0, vec_a
+    li   t1, vec_len
+    mv   t2, a0
+    li   t3, 0
+loop:
+    bge  t2, t1, reduce
+    slli t4, t2, 2
+    add  t5, t0, t4
+    lw   t6, 0(t5)
+    add  t3, t3, t6
+    add  t2, t2, a1
+    j    loop
+reduce:
+    la   t5, sum_result
+    amoadd.w zero, t3, (t5)
+    ecall
+"""

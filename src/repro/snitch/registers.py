@@ -1,0 +1,68 @@
+"""RISC-V integer register file and ABI register names."""
+
+from __future__ import annotations
+
+from repro.core.memory import to_signed, to_unsigned
+
+#: Mapping from ABI register names to architectural indices.
+ABI_NAMES: dict[str, int] = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7,
+    "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13,
+    "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+
+def register_index(name: str) -> int:
+    """Return the register index of an ABI name or an ``x<N>`` name."""
+    token = name.strip().lower()
+    if token in ABI_NAMES:
+        return ABI_NAMES[token]
+    if token.startswith("x"):
+        try:
+            index = int(token[1:])
+        except ValueError as error:
+            raise ValueError(f"invalid register name {name!r}") from error
+        if 0 <= index < 32:
+            return index
+    raise ValueError(f"invalid register name {name!r}")
+
+
+class RegisterFile:
+    """The 32 general-purpose registers of an RV32 core (``x0`` is wired to 0)."""
+
+    def __init__(self) -> None:
+        self._values = [0] * 32
+
+    def read(self, index: int) -> int:
+        """Signed value of register ``index``."""
+        self._check(index)
+        return to_signed(self._values[index])
+
+    def read_unsigned(self, index: int) -> int:
+        """Unsigned (raw 32-bit) value of register ``index``."""
+        self._check(index)
+        return self._values[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write ``value`` (wrapped to 32 bits) to register ``index``."""
+        self._check(index)
+        if index == 0:
+            return
+        self._values[index] = to_unsigned(value)
+
+    @staticmethod
+    def _check(index: int) -> None:
+        if not 0 <= index < 32:
+            raise ValueError(f"register index {index} out of range")
+
+    def dump(self) -> dict[str, int]:
+        """Signed values of all registers keyed by ABI name (for debugging/tests)."""
+        by_index = {}
+        for name, index in ABI_NAMES.items():
+            by_index.setdefault(index, name)
+        return {by_index[i]: to_signed(self._values[i]) for i in range(32)}

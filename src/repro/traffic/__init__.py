@@ -1,0 +1,19 @@
+"""Synthetic traffic generation and measurement (Section V-A / V-B)."""
+
+from repro.traffic.generator import (
+    LocalBiasedPattern,
+    PoissonInjector,
+    TrafficPattern,
+    UniformRandomPattern,
+)
+from repro.traffic.simulation import TrafficResult, TrafficSimulation, run_load_sweep
+
+__all__ = [
+    "TrafficPattern",
+    "UniformRandomPattern",
+    "LocalBiasedPattern",
+    "PoissonInjector",
+    "TrafficSimulation",
+    "TrafficResult",
+    "run_load_sweep",
+]

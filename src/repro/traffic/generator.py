@@ -1,0 +1,91 @@
+"""Synthetic traffic generators.
+
+Section V-A: *"Each core is replaced by a synthetic traffic generator, which
+generates new requests following a Poisson process of rate lambda.  The
+requests have a random uniformly distributed destination memory bank."*
+
+Section V-B adds the locality knob used to evaluate the hybrid addressing
+scheme: a request targets the core's own tile (its sequential region) with
+probability ``p_local`` and any bank of the cluster otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.config import MemPoolConfig
+from repro.utils.validation import check_in_range, check_non_negative
+
+
+class TrafficPattern:
+    """Chooses the destination bank of each generated request."""
+
+    def __init__(self, config: MemPoolConfig, seed: int = 0) -> None:
+        self.config = config
+        self.rng = random.Random(seed)
+
+    def destination(self, core_id: int) -> int:
+        """Return the global bank index targeted by a new request of ``core_id``."""
+        raise NotImplementedError
+
+
+class UniformRandomPattern(TrafficPattern):
+    """Uniformly random destination over every bank of the cluster (Figure 5)."""
+
+    def destination(self, core_id: int) -> int:
+        return self.rng.randrange(self.config.num_banks)
+
+
+class LocalBiasedPattern(TrafficPattern):
+    """Destination in the core's own tile with probability ``p_local`` (Figure 6).
+
+    With probability ``p_local`` the request goes to a uniformly chosen bank
+    of the issuing core's tile — modelling an access to the tile's sequential
+    region under the hybrid addressing scheme.  Otherwise the destination is
+    uniform over the whole cluster, as in the interleaved regime.
+    """
+
+    def __init__(self, config: MemPoolConfig, p_local: float, seed: int = 0) -> None:
+        super().__init__(config, seed)
+        check_in_range("p_local", p_local, 0.0, 1.0)
+        self.p_local = p_local
+
+    def destination(self, core_id: int) -> int:
+        config = self.config
+        if self.rng.random() < self.p_local:
+            tile = config.tile_of_core(core_id)
+            return tile * config.banks_per_tile + self.rng.randrange(config.banks_per_tile)
+        return self.rng.randrange(config.num_banks)
+
+
+class PoissonInjector:
+    """Per-core Poisson arrival process with rate ``injection_rate`` req/cycle."""
+
+    def __init__(self, num_cores: int, injection_rate: float, seed: int = 0) -> None:
+        check_non_negative("injection_rate", injection_rate)
+        self.injection_rate = injection_rate
+        self.rng = random.Random(seed ^ 0x5EED)
+        self._next_arrival = [
+            self._first_arrival() for _ in range(num_cores)
+        ]
+
+    def _first_arrival(self) -> float:
+        if self.injection_rate == 0.0:
+            return float("inf")
+        # Desynchronise the cores by starting each process at a random phase.
+        return self.rng.uniform(0.0, 1.0 / self.injection_rate)
+
+    def _interarrival(self) -> float:
+        return self.rng.expovariate(self.injection_rate)
+
+    def arrivals(self, core_id: int, cycle: int) -> int:
+        """Number of new requests core ``core_id`` generates during ``cycle``."""
+        if self.injection_rate == 0.0:
+            return 0
+        count = 0
+        next_arrival = self._next_arrival[core_id]
+        while next_arrival <= cycle:
+            count += 1
+            next_arrival += self._interarrival()
+        self._next_arrival[core_id] = next_arrival
+        return count

@@ -1,0 +1,179 @@
+"""Open-loop traffic simulation used for the network analysis of Section V.
+
+Each core is replaced by a synthetic generator feeding an unbounded source
+queue; the head of each queue is injected into the interconnect whenever the
+first register stage of its path can accept it.  Accepted throughput and
+average round-trip latency (including source queueing) are measured over a
+window that starts after a warm-up period, which is how the saturation
+behaviour shown in Figures 5 and 6 emerges.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.cluster import MemPoolCluster
+from repro.traffic.generator import PoissonInjector, TrafficPattern, UniformRandomPattern
+from repro.utils.rotation import PermutationSchedule
+from repro.utils.stats import Histogram, OnlineStats
+
+
+@dataclass
+class TrafficResult:
+    """Outcome of one traffic-simulation point (one injected-load value)."""
+
+    topology: str
+    injected_load: float
+    measured_cycles: int
+    num_cores: int
+    generated_requests: int
+    injected_requests: int
+    completed_requests: int
+    average_latency: float
+    p95_latency: int
+    max_latency: int
+    local_fraction: float
+
+    @property
+    def throughput(self) -> float:
+        """Accepted throughput in requests per core per cycle."""
+        return self.completed_requests / (self.num_cores * self.measured_cycles)
+
+    @property
+    def offered_load(self) -> float:
+        """Offered load in requests per core per cycle (alias of injected_load)."""
+        return self.injected_load
+
+    def as_row(self) -> list[float]:
+        """Row used by the textual figure reports."""
+        return [
+            self.injected_load,
+            self.throughput,
+            self.average_latency,
+            float(self.p95_latency),
+        ]
+
+
+class TrafficSimulation:
+    """Drives synthetic traffic through one cluster configuration."""
+
+    def __init__(
+        self,
+        cluster: MemPoolCluster,
+        injection_rate: float,
+        pattern: TrafficPattern | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.cluster = cluster
+        self.pattern = pattern or UniformRandomPattern(cluster.config, seed=seed)
+        self.injection_rate = injection_rate
+        self.injector = PoissonInjector(
+            cluster.config.num_cores, injection_rate, seed=seed
+        )
+        self._queues: list[deque] = [deque() for _ in range(cluster.config.num_cores)]
+        self._injection_schedule = PermutationSchedule(
+            cluster.config.num_cores, seed=seed + 1
+        )
+        self._local_requests = 0
+        self._total_requests = 0
+
+    # ------------------------------------------------------------------ #
+    # Per-cycle behaviour
+    # ------------------------------------------------------------------ #
+
+    def _generate(self, cycle: int) -> int:
+        cluster = self.cluster
+        generated = 0
+        for core_id, queue in enumerate(self._queues):
+            for _ in range(self.injector.arrivals(core_id, cycle)):
+                bank_id = self.pattern.destination(core_id)
+                flit = cluster.make_bank_flit(
+                    core_id, bank_id, is_write=False, cycle=cycle
+                )
+                queue.append(flit)
+                generated += 1
+                self._total_requests += 1
+                if cluster.is_local_bank(core_id, bank_id):
+                    self._local_requests += 1
+        return generated
+
+    def _inject(self, cycle: int) -> int:
+        network = self.cluster.network
+        injected = 0
+        queues = self._queues
+        for index in self._injection_schedule.order(cycle):
+            queue = queues[index]
+            if queue and network.try_inject(queue[0], cycle):
+                queue.popleft()
+                injected += 1
+        return injected
+
+    # ------------------------------------------------------------------ #
+    # Measurement
+    # ------------------------------------------------------------------ #
+
+    def run(self, warmup_cycles: int = 500, measure_cycles: int = 1500) -> TrafficResult:
+        """Warm the network up, then measure throughput and latency."""
+        network = self.cluster.network
+        latency = OnlineStats()
+        histogram = Histogram()
+        completed_in_window = 0
+        generated_in_window = 0
+        injected_in_window = 0
+        total_cycles = warmup_cycles + measure_cycles
+        for cycle in range(total_cycles):
+            completions = network.advance(cycle)
+            measuring = cycle >= warmup_cycles
+            if measuring:
+                completed_in_window += len(completions)
+                for flit in completions:
+                    latency.add(flit.latency)
+                    histogram.add(flit.latency)
+            generated = self._generate(cycle)
+            injected = self._inject(cycle)
+            if measuring:
+                generated_in_window += generated
+                injected_in_window += injected
+        local_fraction = (
+            self._local_requests / self._total_requests if self._total_requests else 0.0
+        )
+        return TrafficResult(
+            topology=self.cluster.config.topology,
+            injected_load=self.injection_rate,
+            measured_cycles=measure_cycles,
+            num_cores=self.cluster.config.num_cores,
+            generated_requests=generated_in_window,
+            injected_requests=injected_in_window,
+            completed_requests=completed_in_window,
+            average_latency=latency.mean,
+            p95_latency=histogram.percentile(0.95),
+            max_latency=int(latency.maximum) if latency.count else 0,
+            local_fraction=local_fraction,
+        )
+
+
+def run_load_sweep(
+    make_cluster,
+    loads,
+    pattern_factory=None,
+    warmup_cycles: int = 500,
+    measure_cycles: int = 1500,
+    seed: int = 0,
+) -> list[TrafficResult]:
+    """Run one traffic simulation per injected load value.
+
+    ``make_cluster`` is a zero-argument callable building a fresh cluster for
+    each point (the stage network keeps state, so points must not share one).
+    ``pattern_factory`` maps a cluster to a :class:`TrafficPattern`; the
+    default is uniform random traffic.
+    """
+    results = []
+    for load in loads:
+        cluster = make_cluster()
+        pattern = pattern_factory(cluster) if pattern_factory else None
+        simulation = TrafficSimulation(cluster, load, pattern=pattern, seed=seed)
+        results.append(
+            simulation.run(warmup_cycles=warmup_cycles, measure_cycles=measure_cycles)
+        )
+    return results

@@ -1,0 +1,91 @@
+"""Minimal ASCII line plots for the figure reports.
+
+The benchmark harness and the examples print the paper's figures as tables;
+for quick visual inspection in a terminal, this module renders the same
+series as an ASCII scatter/line plot (one character per series).  It has no
+dependency beyond the standard library and is intentionally small: it is a
+reporting aid, not a plotting library.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+#: Characters used for successive series.
+SERIES_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, int(round(position * (size - 1)))))
+
+
+def ascii_plot(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+    title: str | None = None,
+) -> str:
+    """Render ``series`` (name -> y values) against ``x_values`` as ASCII art.
+
+    All series must have the same length as ``x_values``.  The y range is the
+    union of all series; the plot is returned as a multi-line string with a
+    legend mapping markers to series names.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("plot must be at least 10 columns by 4 rows")
+    if not x_values:
+        raise ValueError("x_values must not be empty")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, expected {len(x_values)}"
+            )
+    if not series:
+        raise ValueError("at least one series is required")
+
+    x_low, x_high = min(x_values), max(x_values)
+    all_y = [value for values in series.values() for value in values]
+    y_low, y_high = min(all_y), max(all_y)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = SERIES_MARKERS[index % len(SERIES_MARKERS)]
+        for x_value, y_value in zip(x_values, values):
+            column = _scale(x_value, x_low, x_high, width)
+            row = height - 1 - _scale(y_value, y_low, y_high, height)
+            grid[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:.3g}"
+    bottom_label = f"{y_low:.3g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = f"{' ' * label_width} +{'-' * width}"
+    lines.append(axis)
+    x_axis_label = f"{x_low:.3g}".ljust(width - 10) + f"{x_high:.3g}".rjust(10)
+    lines.append(f"{' ' * label_width}  {x_axis_label}")
+    if x_label:
+        lines.append(f"{' ' * label_width}  {x_label.center(width)}")
+    legend = "   ".join(
+        f"{SERIES_MARKERS[index % len(SERIES_MARKERS)]} {name}"
+        for index, name in enumerate(series)
+    )
+    lines.append(f"{' ' * label_width}  legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Fair iteration schedules for per-cycle arbitration.
+
+Visiting contenders in a fixed list order (even with a rotating start offset)
+is pairwise unfair: of two requesters that conflict every cycle, the one that
+appears earlier in the list wins almost every time.  Persistent losers back
+up and — through shared upstream resources such as MemPool's per-direction
+tile ports — can idle capacity for everyone.  :class:`PermutationSchedule`
+provides a cheap approximation of unbiased arbitration: a pool of
+pre-computed random permutations of the contenders, indexed by cycle, so that
+over time every pairwise order is equally likely.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class PermutationSchedule:
+    """A pool of fixed random permutations of ``range(count)`` indexed by cycle."""
+
+    def __init__(self, count: int, seed: int = 0, pool_size: int = 97) -> None:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be positive, got {pool_size}")
+        self.count = count
+        self.pool_size = pool_size
+        rng = random.Random(seed)
+        base = list(range(count))
+        permutations = []
+        for _ in range(pool_size):
+            order = base[:]
+            rng.shuffle(order)
+            permutations.append(tuple(order))
+        self._permutations = tuple(permutations)
+
+    def order(self, cycle: int) -> tuple[int, ...]:
+        """The visiting order to use during ``cycle``."""
+        return self._permutations[cycle % self.pool_size]
+
+    def __len__(self) -> int:
+        return self.count

@@ -1,0 +1,56 @@
+"""Validation helpers used by configuration objects and builders."""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value: int | float) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(name: str, value: int | float) -> None:
+    """Raise ``ValueError`` unless ``value`` is zero or positive."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise ``ValueError`` unless ``value`` is a positive power of two."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def log2_int(value: int) -> int:
+    """Return ``log2(value)`` for a power-of-two ``value``.
+
+    Raises ``ValueError`` if ``value`` is not a positive power of two.
+    """
+    check_power_of_two("value", value)
+    return value.bit_length() - 1
+
+
+def is_power_of(value: int, base: int) -> bool:
+    """Return True if ``value`` is a positive integer power of ``base`` (incl. base**0)."""
+    if value <= 0 or base <= 1:
+        return False
+    while value % base == 0:
+        value //= base
+    return value == 1
+
+
+def log_base_int(value: int, base: int) -> int:
+    """Return ``log_base(value)`` for an exact power, else raise ``ValueError``."""
+    if not is_power_of(value, base):
+        raise ValueError(f"{value} is not a power of {base}")
+    exponent = 0
+    while value > 1:
+        value //= base
+        exponent += 1
+    return exponent

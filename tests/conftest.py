@@ -1,0 +1,40 @@
+"""Shared fixtures for the MemPool reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import MemPoolCluster
+from repro.core.config import MemPoolConfig
+
+ALL_TOPOLOGIES = ("top1", "top4", "toph", "topx")
+
+
+@pytest.fixture(params=ALL_TOPOLOGIES)
+def topology(request) -> str:
+    """Parametrised over every supported topology."""
+    return request.param
+
+
+@pytest.fixture
+def tiny_config(topology) -> MemPoolConfig:
+    """A 4-tile / 16-core configuration of the requested topology."""
+    return MemPoolConfig.tiny(topology)
+
+
+@pytest.fixture
+def tiny_cluster(tiny_config) -> MemPoolCluster:
+    """A 4-tile / 16-core cluster of the requested topology."""
+    return MemPoolCluster(tiny_config)
+
+
+@pytest.fixture
+def toph_tiny_cluster() -> MemPoolCluster:
+    """A 4-tile TopH cluster (the default topology of the paper)."""
+    return MemPoolCluster(MemPoolConfig.tiny("toph"))
+
+
+@pytest.fixture
+def scaled_toph_cluster() -> MemPoolCluster:
+    """A 16-tile / 64-core TopH cluster (the benchmark-harness default)."""
+    return MemPoolCluster(MemPoolConfig.scaled("toph"))

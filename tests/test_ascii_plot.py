@@ -1,0 +1,55 @@
+"""Tests of the ASCII plot helper."""
+
+import pytest
+
+from repro.utils.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        text = ascii_plot([0, 1, 2], {"top1": [0, 1, 2], "toph": [0, 2, 4]})
+        assert "o" in text and "x" in text
+        assert "legend:" in text
+        assert "top1" in text and "toph" in text
+
+    def test_title_and_labels(self):
+        text = ascii_plot(
+            [0, 1], {"a": [1, 2]}, title="Figure", x_label="load", y_label="lat"
+        )
+        assert text.splitlines()[0] == "Figure"
+        assert "load" in text
+        assert "lat" in text
+
+    def test_y_range_labels(self):
+        text = ascii_plot([0, 1, 2], {"a": [5, 7, 9]})
+        assert "9" in text
+        assert "5" in text
+
+    def test_extremes_map_inside_the_grid(self):
+        text = ascii_plot([0, 100], {"a": [0.0, 1e6]}, width=20, height=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert len(rows) == 5
+        assert all(len(row.split("|", 1)[1]) == 20 for row in rows)
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_plot([0, 1, 2], {"flat": [3, 3, 3]})
+        assert "flat" in text
+
+    def test_mismatched_series_length_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([0, 1], {"a": [1, 2, 3]})
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([], {"a": []})
+        with pytest.raises(ValueError):
+            ascii_plot([0, 1], {})
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([0, 1], {"a": [1, 2]}, width=5, height=2)
+
+    def test_many_series_cycle_markers(self):
+        series = {f"s{i}": [i, i + 1] for i in range(10)}
+        text = ascii_plot([0, 1], series)
+        assert "legend:" in text

@@ -1,0 +1,48 @@
+"""Tests of the `python -m repro.evaluation` command-line entry point."""
+
+from repro.evaluation import __main__ as evaluation_main
+
+
+class _FakeResult:
+    def report(self) -> str:
+        return "fake report"
+
+
+def test_unknown_experiment_is_rejected(capsys):
+    exit_code = evaluation_main.main(["does-not-exist"])
+    assert exit_code == 1
+    assert "unknown experiments" in capsys.readouterr().out
+
+
+def test_selected_experiments_run_and_print(monkeypatch, capsys):
+    calls = []
+
+    def fake_driver(settings):
+        calls.append(settings)
+        return _FakeResult()
+
+    monkeypatch.setitem(evaluation_main.EXPERIMENTS, "fig10", fake_driver)
+    exit_code = evaluation_main.main(["fig10"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert calls, "the selected experiment driver was not invoked"
+    assert "fake report" in output
+    assert "fig10" in output
+
+
+def test_default_selection_includes_every_experiment(monkeypatch, capsys):
+    invoked = []
+
+    def make_fake(name):
+        def fake_driver(settings):
+            invoked.append(name)
+            return _FakeResult()
+
+        return fake_driver
+
+    for name in list(evaluation_main.EXPERIMENTS):
+        monkeypatch.setitem(evaluation_main.EXPERIMENTS, name, make_fake(name))
+    exit_code = evaluation_main.main([])
+    assert exit_code == 0
+    assert set(invoked) == set(evaluation_main.EXPERIMENTS)
+    assert "experiment scale" in capsys.readouterr().out

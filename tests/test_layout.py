@@ -1,0 +1,136 @@
+"""Tests of the program-visible memory layout (stacks and allocators)."""
+
+import pytest
+
+from repro.addressing.layout import MemoryLayout
+from repro.addressing.map import HybridAddressMap, InterleavedAddressMap
+from repro.core.config import MemPoolConfig
+
+
+@pytest.fixture
+def config():
+    return MemPoolConfig.tiny()
+
+
+@pytest.fixture
+def layout(config):
+    return MemoryLayout(config)
+
+
+class TestStacks:
+    def test_every_core_has_a_stack(self, layout, config):
+        for core in range(config.num_cores):
+            stack = layout.stack(core)
+            assert stack.size == config.stack_bytes_per_core
+            assert stack.core_id == core
+
+    def test_stacks_do_not_overlap(self, layout, config):
+        windows = sorted(
+            (layout.stack(core).base, layout.stack(core).top)
+            for core in range(config.num_cores)
+        )
+        for (_, previous_end), (next_start, _) in zip(windows, windows[1:]):
+            assert next_start >= previous_end
+
+    def test_stacks_live_in_their_tiles_sequential_slice(self, layout, config):
+        for core in range(config.num_cores):
+            tile = config.tile_of_core(core)
+            base = tile * config.seq_region_bytes_per_tile
+            stack = layout.stack(core)
+            assert base <= stack.base < stack.top <= base + config.seq_region_bytes_per_tile
+
+    def test_stacks_are_tile_local_under_the_hybrid_map(self, layout, config):
+        hybrid = HybridAddressMap(config)
+        for core in range(config.num_cores):
+            stack = layout.stack(core)
+            tile = config.tile_of_core(core)
+            assert hybrid.decode(stack.base).tile == tile
+            assert hybrid.decode(stack.top - 4).tile == tile
+
+    def test_stacks_spread_across_tiles_under_the_interleaved_map(self, layout, config):
+        """Without scrambling the same stack addresses hit many tiles."""
+        interleaved = InterleavedAddressMap(config)
+        stack = layout.stack(5)
+        tiles = {
+            interleaved.decode(address).tile
+            for address in range(stack.base, stack.top, 4)
+        }
+        assert len(tiles) > 1
+
+    def test_stack_pointer_is_word_aligned_top(self, layout):
+        stack = layout.stack(0)
+        assert layout.stack_pointer(0) == stack.top
+        assert layout.stack_pointer(0) % 4 == 0
+
+    def test_unknown_core_rejected(self, layout, config):
+        with pytest.raises(ValueError):
+            layout.stack(config.num_cores)
+
+
+class TestSharedAllocator:
+    def test_shared_allocations_start_above_the_sequential_region(self, layout, config):
+        region = layout.alloc_shared("a", 128)
+        assert region.base >= config.seq_region_total_bytes
+
+    def test_shared_allocations_do_not_overlap(self, layout):
+        first = layout.alloc_shared("a", 100)
+        second = layout.alloc_shared("b", 100)
+        assert second.base >= first.end
+
+    def test_alignment_respected(self, layout):
+        layout.alloc_shared("a", 6)
+        region = layout.alloc_shared("b", 64, alignment=64)
+        assert region.base % 64 == 0
+
+    def test_bad_alignment_rejected(self, layout):
+        with pytest.raises(ValueError):
+            layout.alloc_shared("a", 16, alignment=3)
+
+    def test_zero_size_rejected(self, layout):
+        with pytest.raises(ValueError):
+            layout.alloc_shared("a", 0)
+
+    def test_exhaustion_raises_memory_error(self, layout, config):
+        with pytest.raises(MemoryError):
+            layout.alloc_shared("huge", config.l1_bytes)
+
+    def test_regions_are_recorded(self, layout):
+        layout.alloc_shared("a", 16)
+        layout.alloc_shared("b", 16)
+        assert [region.name for region in layout.regions] == ["a", "b"]
+
+
+class TestTileLocalAllocator:
+    def test_tile_local_allocation_is_inside_the_tile_slice(self, layout, config):
+        region = layout.alloc_tile_local("buffer", 2, 256)
+        tile_base = 2 * config.seq_region_bytes_per_tile
+        assert tile_base <= region.base < region.end <= tile_base + config.seq_region_bytes_per_tile
+
+    def test_tile_local_allocation_is_local_under_hybrid_map(self, layout, config):
+        hybrid = HybridAddressMap(config)
+        region = layout.alloc_tile_local("buffer", 3, 512)
+        for address in range(region.base, region.end, 4):
+            assert hybrid.decode(address).tile == 3
+
+    def test_tile_local_does_not_collide_with_stacks(self, layout, config):
+        region = layout.alloc_tile_local("buffer", 0, 128)
+        for core in range(config.cores_per_tile):
+            stack = layout.stack(core)
+            assert region.base >= stack.top or region.end <= stack.base
+
+    def test_tile_slice_exhaustion(self, layout, config):
+        available = config.seq_region_bytes_per_tile - (
+            config.cores_per_tile * config.stack_bytes_per_core
+        )
+        layout.alloc_tile_local("big", 1, available)
+        with pytest.raises(MemoryError):
+            layout.alloc_tile_local("one-more", 1, 4)
+
+    def test_alloc_core_local_targets_the_cores_tile(self, layout, config):
+        core = 7
+        region = layout.alloc_core_local("scratch", core, 64)
+        assert region.tile == config.tile_of_core(core)
+
+    def test_describe_mentions_regions(self, layout):
+        layout.alloc_shared("weights", 64)
+        assert "weights" in layout.describe()

@@ -1,0 +1,94 @@
+"""Tests of the functional shared-L1 memory."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MemPoolConfig
+from repro.core.memory import SharedL1Memory, to_signed, to_unsigned
+
+
+@pytest.fixture
+def memory():
+    return SharedL1Memory(MemPoolConfig.tiny())
+
+
+class TestWordAccess:
+    def test_read_back_written_word(self, memory):
+        memory.write_word(0x40, 0xDEADBEEF)
+        assert memory.read_word(0x40) == 0xDEADBEEF
+
+    def test_memory_is_zero_initialised(self, memory):
+        assert memory.read_word(0x1234 & ~3) == 0
+
+    def test_negative_values_wrap_to_32_bits(self, memory):
+        memory.write_word(0, -1)
+        assert memory.read_word(0) == 0xFFFFFFFF
+        assert memory.read_signed(0) == -1
+
+    def test_unaligned_access_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.read_word(2)
+        with pytest.raises(ValueError):
+            memory.write_word(5, 1)
+
+    def test_out_of_range_rejected(self, memory):
+        size = memory.config.l1_bytes
+        with pytest.raises(ValueError):
+            memory.read_word(size)
+        with pytest.raises(ValueError):
+            memory.write_word(-4, 0)
+
+    def test_clear(self, memory):
+        memory.write_word(16, 7)
+        memory.clear()
+        assert memory.read_word(16) == 0
+
+
+class TestAtomics:
+    def test_amo_add_returns_previous_value(self, memory):
+        memory.write_word(8, 10)
+        assert memory.amo_add(8, 5) == 10
+        assert memory.read_word(8) == 15
+
+    def test_amo_add_wraps(self, memory):
+        memory.write_word(8, 0xFFFFFFFF)
+        memory.amo_add(8, 1)
+        assert memory.read_word(8) == 0
+
+    def test_amo_swap(self, memory):
+        memory.write_word(12, 3)
+        assert memory.amo_swap(12, 9) == 3
+        assert memory.read_word(12) == 9
+
+
+class TestBulkAccess:
+    def test_write_and_read_words(self, memory):
+        values = [1, -2, 3, -4]
+        memory.write_words(0x100, values)
+        assert list(memory.read_words(0x100, 4)) == values
+
+    def test_read_words_unsigned(self, memory):
+        memory.write_words(0, [-1])
+        assert memory.read_words(0, 1, signed=False)[0] == 0xFFFFFFFF
+
+    def test_matrix_roundtrip(self, memory):
+        matrix = np.arange(12).reshape(3, 4) - 5
+        memory.write_matrix(0x200, matrix)
+        assert np.array_equal(memory.read_matrix(0x200, 3, 4), matrix)
+
+    def test_bulk_overrun_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.write_words(memory.config.l1_bytes - 4, [1, 2])
+        with pytest.raises(ValueError):
+            memory.read_words(memory.config.l1_bytes - 4, 2)
+
+
+class TestConversions:
+    def test_to_signed(self):
+        assert to_signed(0xFFFFFFFF) == -1
+        assert to_signed(0x7FFFFFFF) == 2**31 - 1
+        assert to_signed(0x80000000) == -(2**31)
+
+    def test_to_unsigned(self):
+        assert to_unsigned(-1) == 0xFFFFFFFF
+        assert to_unsigned(2**32 + 5) == 5

@@ -1,0 +1,108 @@
+"""Tests of the per-core reorder buffer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rob import ReorderBuffer
+
+
+class TestAllocation:
+    def test_capacity_enforced(self):
+        rob = ReorderBuffer(2)
+        rob.allocate("a")
+        rob.allocate("b")
+        assert rob.is_full
+        with pytest.raises(RuntimeError):
+            rob.allocate("c")
+
+    def test_duplicate_tag_rejected(self):
+        rob = ReorderBuffer(4)
+        rob.allocate("a")
+        with pytest.raises(ValueError):
+            rob.allocate("a")
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer(0)
+
+    def test_occupancy_and_high_water_mark(self):
+        rob = ReorderBuffer(4)
+        rob.allocate(1)
+        rob.allocate(2)
+        assert rob.occupancy == 2
+        rob.complete(1)
+        rob.retire_ready()
+        assert rob.occupancy == 1
+        assert rob.max_occupancy == 2
+
+
+class TestCompletion:
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(KeyError):
+            ReorderBuffer(2).complete("x")
+
+    def test_double_completion_rejected(self):
+        rob = ReorderBuffer(2)
+        rob.allocate("a")
+        rob.complete("a")
+        with pytest.raises(ValueError):
+            rob.complete("a")
+
+    def test_is_complete_defaults_to_true_for_retired_tags(self):
+        rob = ReorderBuffer(2)
+        rob.allocate("a")
+        assert not rob.is_complete("a")
+        rob.complete("a")
+        assert rob.is_complete("a")
+        rob.retire_ready()
+        assert rob.is_complete("a")
+
+    def test_is_outstanding(self):
+        rob = ReorderBuffer(2)
+        rob.allocate("a")
+        assert rob.is_outstanding("a")
+        rob.complete("a")
+        rob.retire_ready()
+        assert not rob.is_outstanding("a")
+
+
+class TestInOrderRetirement:
+    def test_retirement_stops_at_incomplete_entry(self):
+        rob = ReorderBuffer(4)
+        rob.allocate(1)
+        rob.allocate(2)
+        rob.allocate(3)
+        rob.complete(2)
+        rob.complete(3)
+        assert rob.retire_ready() == []
+        rob.complete(1)
+        assert rob.retire_ready() == [1, 2, 3]
+
+    def test_retirement_preserves_program_order(self):
+        rob = ReorderBuffer(4)
+        for tag in "abcd":
+            rob.allocate(tag)
+        for tag in "dcba":
+            rob.complete(tag)
+        assert rob.retire_ready() == list("abcd")
+
+    def test_clear(self):
+        rob = ReorderBuffer(2)
+        rob.allocate("a")
+        rob.clear()
+        assert rob.occupancy == 0
+
+    @given(
+        completion_order=st.permutations(list(range(8))),
+        capacity=st.integers(min_value=8, max_value=16),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_any_completion_order_retires_in_program_order(self, completion_order, capacity):
+        rob = ReorderBuffer(capacity)
+        for tag in range(8):
+            rob.allocate(tag)
+        retired = []
+        for tag in completion_order:
+            rob.complete(tag)
+            retired.extend(rob.retire_ready())
+        assert retired == list(range(8))

@@ -1,0 +1,149 @@
+"""Tests of the ISS-to-timing-model bridge and the instruction-cache model."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import MemPoolCluster
+from repro.core.config import MemPoolConfig
+from repro.core.system import MemPoolSystem
+from repro.snitch import InstructionCache, assemble
+from repro.snitch.agent import SnitchAgent, make_snitch_agents
+
+
+@pytest.fixture
+def cluster():
+    return MemPoolCluster(MemPoolConfig.tiny("toph"))
+
+
+class TestInstructionCache:
+    def test_first_access_misses_then_hits(self):
+        cache = InstructionCache(capacity_bytes=256, ways=2, line_bytes=32)
+        assert not cache.access(0)
+        assert cache.access(4)
+        assert cache.access(28)
+        assert not cache.access(32)
+
+    def test_lru_eviction(self):
+        cache = InstructionCache(capacity_bytes=128, ways=2, line_bytes=32)
+        # Two sets; addresses mapping to set 0: lines 0, 2, 4 (stride 64).
+        cache.access(0)
+        cache.access(64)
+        cache.access(128)  # evicts line 0
+        assert not cache.access(0)
+
+    def test_fetch_penalty(self):
+        cache = InstructionCache(refill_cycles=17)
+        assert cache.fetch_penalty(0) == 17
+        assert cache.fetch_penalty(0) == 0
+
+    def test_flush(self):
+        cache = InstructionCache()
+        cache.access(0)
+        cache.flush()
+        assert not cache.access(0)
+
+    def test_stats(self):
+        cache = InstructionCache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.accesses == 2
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionCache(capacity_bytes=100, ways=3, line_bytes=32)
+
+
+class TestSnitchAgent:
+    def test_simple_program_runs_on_the_timing_model(self, cluster):
+        buffer = cluster.layout.alloc_shared("buf", 64)
+        cluster.memory.write_words(buffer.base, range(16))
+        source = """
+            la t0, buf
+            li t1, 0
+            li t2, 0
+        loop:
+            slli t3, t1, 2
+            add  t3, t3, t0
+            lw   t4, 0(t3)
+            add  t2, t2, t4
+            addi t1, t1, 1
+            li   t5, 16
+            blt  t1, t5, loop
+            la   t6, buf
+            sw   t2, 0(t6)
+            ecall
+        """
+        program = assemble(source, symbols={"buf": buffer.base})
+        agent = SnitchAgent(program, core_id=0, memory=cluster.memory,
+                            stack_pointer=cluster.layout.stack_pointer(0))
+        result = MemPoolSystem(cluster, {0: agent}).run()
+        assert cluster.memory.read_signed(buffer.base) == sum(range(16))
+        assert result.total.loads == 16
+        assert result.total.stores == 1
+        assert result.cycles > result.total.loads
+
+    def test_load_use_dependency_stalls_the_core(self, cluster):
+        # Place the buffer in a remote tile so the load-to-use distance of one
+        # instruction cannot hide the 5-cycle remote latency.
+        buffer = cluster.layout.alloc_tile_local("buf", 2, 16)
+        source = """
+            la t0, buf
+            lw t1, 0(t0)
+            add t2, t1, t1
+            ecall
+        """
+        program = assemble(source, symbols={"buf": buffer.base})
+        agent = SnitchAgent(program, core_id=0, memory=cluster.memory)
+        result = MemPoolSystem(cluster, {0: agent}).run()
+        assert result.total.dependency_stalls >= 1
+
+    def test_icache_miss_penalty_increases_cycles(self, cluster):
+        source = "nop\n" * 20 + "ecall"
+        program = assemble(source)
+        without_icache = SnitchAgent(program, 0, cluster.memory, icache=None)
+        result_fast = MemPoolSystem(cluster, {0: without_icache}).run()
+
+        other_cluster = MemPoolCluster(MemPoolConfig.tiny("toph"))
+        with_icache = SnitchAgent(
+            program, 0, other_cluster.memory,
+            icache=InstructionCache(refill_cycles=20),
+        )
+        result_slow = MemPoolSystem(other_cluster, {0: with_icache}).run()
+        assert result_slow.cycles > result_fast.cycles
+
+    def test_argument_registers(self, cluster):
+        program = assemble("add a2, a0, a1\necall")
+        agent = SnitchAgent(
+            program, 0, cluster.memory, argument_registers={10: 4, 11: 38}
+        )
+        MemPoolSystem(cluster, {0: agent}).run()
+        assert agent.core.registers.read(12) == 42
+
+    def test_make_snitch_agents_builds_one_per_core(self, cluster):
+        program = assemble("ecall")
+        agents = make_snitch_agents(cluster, program)
+        assert len(agents) == cluster.config.num_cores
+
+    def test_make_snitch_agents_shares_icache_per_tile(self, cluster):
+        program = assemble("ecall")
+        agents = make_snitch_agents(cluster, program)
+        tile0_caches = {agents[core].icache for core in cluster.tiles[0].core_ids}
+        tile1_caches = {agents[core].icache for core in cluster.tiles[1].core_ids}
+        assert len(tile0_caches) == 1
+        assert len(tile1_caches) == 1
+        assert tile0_caches != tile1_caches
+
+    def test_argument_builder_passes_core_id(self, cluster):
+        program = assemble("mv a1, a0\necall")
+        agents = make_snitch_agents(
+            cluster, program, argument_builder=lambda core: {10: core}
+        )
+        MemPoolSystem(cluster, agents).run()
+        assert agents[7].core.registers.read(11) == 7
+
+    def test_runaway_program_raises(self, cluster):
+        program = assemble("spin:\nj spin")
+        agent = SnitchAgent(program, 0, cluster.memory, max_instructions=500)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            MemPoolSystem(cluster, {0: agent}).run(max_cycles=5000)

@@ -1,0 +1,193 @@
+"""Tests of the RV32IM assembler."""
+
+import pytest
+
+from repro.snitch.assembler import AssemblerError, assemble
+from repro.snitch.registers import ABI_NAMES, RegisterFile, register_index
+
+
+class TestRegisterNames:
+    def test_abi_names(self):
+        assert register_index("zero") == 0
+        assert register_index("ra") == 1
+        assert register_index("sp") == 2
+        assert register_index("a0") == 10
+        assert register_index("t6") == 31
+
+    def test_x_names(self):
+        assert register_index("x0") == 0
+        assert register_index("x31") == 31
+
+    def test_invalid_names_rejected(self):
+        for name in ("x32", "b3", "", "a8"):
+            with pytest.raises(ValueError):
+                register_index(name)
+
+    def test_register_file_x0_is_hardwired(self):
+        registers = RegisterFile()
+        registers.write(0, 123)
+        assert registers.read(0) == 0
+
+    def test_register_file_wraps_to_32_bits(self):
+        registers = RegisterFile()
+        registers.write(5, -1)
+        assert registers.read(5) == -1
+        assert registers.read_unsigned(5) == 0xFFFFFFFF
+
+    def test_dump_uses_abi_names(self):
+        registers = RegisterFile()
+        registers.write(10, 42)
+        assert RegisterFile().dump()["a0"] == 0
+        assert registers.dump()["a0"] == 42
+
+
+class TestBasicAssembly:
+    def test_r_type(self):
+        program = assemble("add a0, a1, a2")
+        instruction = program.instructions[0]
+        assert instruction.mnemonic == "add"
+        assert (instruction.rd, instruction.rs1, instruction.rs2) == (10, 11, 12)
+
+    def test_i_type_with_negative_immediate(self):
+        instruction = assemble("addi t0, t1, -42").instructions[0]
+        assert instruction.imm == -42
+
+    def test_hex_immediates(self):
+        instruction = assemble("andi t0, t0, 0xff").instructions[0]
+        assert instruction.imm == 255
+
+    def test_load_store_operands(self):
+        program = assemble("lw a0, 8(sp)\nsw a1, -4(s0)")
+        load, store = program.instructions
+        assert (load.rd, load.rs1, load.imm) == (10, 2, 8)
+        assert (store.rs2, store.rs1, store.imm) == (11, 8, -4)
+
+    def test_atomic_operand(self):
+        instruction = assemble("amoadd.w a0, a1, (a2)").instructions[0]
+        assert (instruction.rd, instruction.rs2, instruction.rs1) == (10, 11, 12)
+
+    def test_atomic_with_offset_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("amoadd.w a0, a1, 4(a2)")
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble("""
+        # a comment
+        add a0, a0, a1   // trailing comment
+        ; another comment style
+        """)
+        assert len(program) == 1
+
+    def test_unknown_instruction_reports_line(self):
+        with pytest.raises(AssemblerError, match=":2:"):
+            assemble("nop\nfrobnicate a0, a1")
+
+    def test_missing_operand_reported(self):
+        with pytest.raises(AssemblerError):
+            assemble("add a0, a1")
+
+    def test_bad_register_reported(self):
+        with pytest.raises(AssemblerError):
+            assemble("add a0, a1, q7")
+
+
+class TestLabelsAndBranches:
+    def test_labels_resolve_to_byte_addresses(self):
+        program = assemble("""
+        start:
+            nop
+            nop
+        end:
+            nop
+        """)
+        assert program.address_of("start") == 0
+        assert program.address_of("end") == 8
+
+    def test_branch_targets_are_absolute(self):
+        program = assemble("""
+        loop:
+            addi a0, a0, -1
+            bnez a0, loop
+        """)
+        branch = program.instructions[1]
+        assert branch.mnemonic == "bne"
+        assert branch.imm == 0
+
+    def test_forward_references(self):
+        program = assemble("""
+            beqz a0, skip
+            nop
+        skip:
+            nop
+        """)
+        assert program.instructions[0].imm == 8
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("x:\nnop\nx:\nnop")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("j nowhere")
+
+    def test_li_la_always_two_instructions(self):
+        program = assemble("li a0, 5\nla a1, 0x12345")
+        assert len(program) == 4
+        assert program.instructions[0].mnemonic == "lui"
+        assert program.instructions[1].mnemonic == "addi"
+
+    def test_label_after_li_accounts_for_expansion(self):
+        program = assemble("""
+            li a0, 1
+        target:
+            nop
+            j target
+        """)
+        assert program.address_of("target") == 8
+        assert program.instructions[-1].imm == 8
+
+
+class TestPseudoInstructions:
+    def test_nop_mv_ret(self):
+        program = assemble("nop\nmv a0, a1\nret")
+        assert [i.mnemonic for i in program.instructions] == ["addi", "addi", "jalr"]
+        assert program.instructions[2].rs1 == 1
+
+    def test_branch_pseudo_swaps(self):
+        program = assemble("loop:\nble a0, a1, loop\nbgt a2, a3, loop")
+        ble, bgt = program.instructions
+        assert ble.mnemonic == "bge" and (ble.rs1, ble.rs2) == (11, 10)
+        assert bgt.mnemonic == "blt" and (bgt.rs1, bgt.rs2) == (13, 12)
+
+    def test_neg_not_seqz_snez(self):
+        program = assemble("neg a0, a1\nnot a2, a3\nseqz a4, a5\nsnez a6, a7")
+        assert [i.mnemonic for i in program.instructions] == ["sub", "xori", "sltiu", "sltu"]
+
+    def test_call_and_j(self):
+        program = assemble("start:\nj start\ncall start")
+        assert program.instructions[0].rd == 0
+        assert program.instructions[1].rd == 1
+
+
+class TestSymbols:
+    def test_external_symbols_in_immediates(self):
+        program = assemble("li a0, buffer", symbols={"buffer": 0x1234})
+        # lui + addi must reconstruct the value.
+        upper = program.instructions[0].imm << 12
+        assert upper + program.instructions[1].imm == 0x1234
+
+    def test_symbol_plus_offset(self):
+        program = assemble("li a0, buffer+8", symbols={"buffer": 0x100})
+        assert (program.instructions[0].imm << 12) + program.instructions[1].imm == 0x108
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(AssemblerError, match="resolve"):
+            assemble("li a0, missing_symbol")
+
+    def test_program_at_and_bounds(self):
+        program = assemble("nop\nnop")
+        assert program.at(4).mnemonic == "addi"
+        with pytest.raises(ValueError):
+            program.at(8)
+        with pytest.raises(ValueError):
+            program.at(2)

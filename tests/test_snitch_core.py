@@ -1,0 +1,248 @@
+"""Tests of the functional Snitch ISS (instruction semantics)."""
+
+import pytest
+
+from repro.core.config import MemPoolConfig
+from repro.core.memory import SharedL1Memory
+from repro.snitch.assembler import assemble
+from repro.snitch.core import ExecutionError, SnitchCore
+from repro.snitch.isa import Instruction, InstructionClass, classify
+
+
+@pytest.fixture
+def memory():
+    return SharedL1Memory(MemPoolConfig.tiny())
+
+
+def run_source(source, memory, symbols=None, registers=None, max_instructions=100_000):
+    """Assemble and run ``source`` to completion, return the core."""
+    program = assemble(source, symbols=symbols)
+    core = SnitchCore(program, core_id=0, sp=0x1000)
+    if registers:
+        for index, value in registers.items():
+            core.registers.write(index, value)
+    core.run(memory, max_instructions=max_instructions)
+    return core
+
+
+class TestIsaClassification:
+    def test_classes(self):
+        assert classify("add") is InstructionClass.ALU
+        assert classify("mul") is InstructionClass.MUL
+        assert classify("div") is InstructionClass.DIV
+        assert classify("lw") is InstructionClass.LOAD
+        assert classify("sw") is InstructionClass.STORE
+        assert classify("amoadd.w") is InstructionClass.AMO
+        assert classify("beq") is InstructionClass.BRANCH
+        assert classify("jal") is InstructionClass.JUMP
+        assert classify("ecall") is InstructionClass.SYSTEM
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(mnemonic="fmadd")
+
+    def test_is_memory_and_terminator_flags(self):
+        assert Instruction(mnemonic="lw").is_memory
+        assert not Instruction(mnemonic="add").is_memory
+        assert Instruction(mnemonic="ecall").is_terminator
+
+
+class TestArithmetic:
+    def test_add_sub(self, memory):
+        core = run_source("li a0, 20\nli a1, 22\nadd a2, a0, a1\nsub a3, a0, a1\necall", memory)
+        assert core.registers.read(12) == 42
+        assert core.registers.read(13) == -2
+
+    def test_logic_ops(self, memory):
+        core = run_source(
+            "li a0, 0xF0\nli a1, 0x0F\nor a2, a0, a1\nand a3, a0, a1\nxor a4, a0, a1\necall",
+            memory,
+        )
+        assert core.registers.read(12) == 0xFF
+        assert core.registers.read(13) == 0
+        assert core.registers.read(14) == 0xFF
+
+    def test_shifts(self, memory):
+        core = run_source(
+            "li a0, -8\nsrai a1, a0, 1\nsrli a2, a0, 28\nslli a3, a0, 1\necall", memory
+        )
+        assert core.registers.read(11) == -4
+        assert core.registers.read(12) == 0xF
+        assert core.registers.read(13) == -16
+
+    def test_set_less_than(self, memory):
+        core = run_source(
+            "li a0, -5\nli a1, 3\nslt a2, a0, a1\nsltu a3, a0, a1\nslti a4, a1, 10\necall",
+            memory,
+        )
+        assert core.registers.read(12) == 1
+        assert core.registers.read(13) == 0  # 0xFFFFFFFB > 3 unsigned
+        assert core.registers.read(14) == 1
+
+    def test_lui(self, memory):
+        core = run_source("lui a0, 0x12345\necall", memory)
+        assert core.registers.read_unsigned(10) == 0x12345000
+
+    def test_overflow_wraps(self, memory):
+        core = run_source("li a0, 0x7fffffff\naddi a0, a0, 1\necall", memory)
+        assert core.registers.read(10) == -(2**31)
+
+
+class TestMultiplyDivide:
+    def test_mul(self, memory):
+        core = run_source("li a0, -7\nli a1, 6\nmul a2, a0, a1\necall", memory)
+        assert core.registers.read(12) == -42
+
+    def test_mulh_variants(self, memory):
+        core = run_source(
+            "li a0, -1\nli a1, -1\nmulh a2, a0, a1\nmulhu a3, a0, a1\necall", memory
+        )
+        assert core.registers.read(12) == 0
+        assert core.registers.read_unsigned(13) == 0xFFFFFFFE
+
+    def test_div_rem_round_toward_zero(self, memory):
+        core = run_source(
+            "li a0, -7\nli a1, 2\ndiv a2, a0, a1\nrem a3, a0, a1\necall", memory
+        )
+        assert core.registers.read(12) == -3
+        assert core.registers.read(13) == -1
+
+    def test_divide_by_zero_follows_riscv_semantics(self, memory):
+        core = run_source("li a0, 9\nli a1, 0\ndiv a2, a0, a1\nrem a3, a0, a1\necall", memory)
+        assert core.registers.read(12) == -1
+        assert core.registers.read(13) == 9
+
+    def test_unsigned_division(self, memory):
+        core = run_source("li a0, -2\nli a1, 3\ndivu a2, a0, a1\nremu a3, a0, a1\necall", memory)
+        assert core.registers.read_unsigned(12) == 0xFFFFFFFE // 3
+        assert core.registers.read_unsigned(13) == 0xFFFFFFFE % 3
+
+
+class TestMemoryInstructions:
+    def test_word_load_store(self, memory):
+        core = run_source("li a0, 0x100\nli a1, -99\nsw a1, 0(a0)\nlw a2, 0(a0)\necall", memory)
+        assert core.registers.read(12) == -99
+        assert memory.read_signed(0x100) == -99
+
+    def test_byte_and_halfword_access(self, memory):
+        core = run_source(
+            """
+            li a0, 0x200
+            li a1, 0x8081
+            sh a1, 0(a0)
+            lb a2, 0(a0)
+            lbu a3, 0(a0)
+            lh a4, 0(a0)
+            lhu a5, 0(a0)
+            ecall
+            """,
+            memory,
+        )
+        assert core.registers.read(12) == -127  # 0x81 sign-extended
+        assert core.registers.read(13) == 0x81
+        assert core.registers.read(14) == -32639  # 0x8081 sign-extended
+        assert core.registers.read(15) == 0x8081
+
+    def test_unaligned_word_access_rejected(self, memory):
+        with pytest.raises(ExecutionError, match="unaligned"):
+            run_source("li a0, 0x102\nlw a1, 0(a0)\necall", memory)
+
+    def test_amoadd(self, memory):
+        memory.write_word(0x300, 5)
+        core = run_source("li a0, 0x300\nli a1, 7\namoadd.w a2, a1, (a0)\necall", memory)
+        assert core.registers.read(12) == 5
+        assert memory.read_word(0x300) == 12
+
+    def test_amoswap(self, memory):
+        memory.write_word(0x300, 5)
+        core = run_source("li a0, 0x300\nli a1, 7\namoswap.w a2, a1, (a0)\necall", memory)
+        assert core.registers.read(12) == 5
+        assert memory.read_word(0x300) == 7
+
+
+class TestControlFlow:
+    def test_loop_countdown(self, memory):
+        core = run_source(
+            """
+            li a0, 10
+            li a1, 0
+            loop:
+            add a1, a1, a0
+            addi a0, a0, -1
+            bnez a0, loop
+            ecall
+            """,
+            memory,
+        )
+        assert core.registers.read(11) == 55
+
+    def test_branch_comparisons(self, memory):
+        core = run_source(
+            """
+            li a0, -1
+            li a1, 1
+            li a2, 0
+            bltu a0, a1, not_taken
+            addi a2, a2, 1      # executed: -1 unsigned is large
+            not_taken:
+            blt a0, a1, taken
+            addi a2, a2, 100
+            taken:
+            ecall
+            """,
+            memory,
+        )
+        assert core.registers.read(12) == 1
+
+    def test_jal_links_return_address(self, memory):
+        core = run_source(
+            """
+            jal ra, target
+            ecall
+            target:
+            addi a0, zero, 7
+            jalr zero, ra, 0
+            """,
+            memory,
+        )
+        assert core.registers.read(10) == 7
+
+    def test_function_call_with_stack(self, memory):
+        core = run_source(
+            """
+            li a0, 5
+            call double
+            ecall
+            double:
+            addi sp, sp, -4
+            sw ra, 0(sp)
+            add a0, a0, a0
+            lw ra, 0(sp)
+            addi sp, sp, 4
+            ret
+            """,
+            memory,
+        )
+        assert core.registers.read(10) == 10
+
+    def test_falling_off_the_end_halts(self, memory):
+        core = run_source("addi a0, zero, 1", memory)
+        assert core.halted
+
+    def test_invalid_jump_target_rejected(self, memory):
+        with pytest.raises(ExecutionError, match="invalid pc"):
+            run_source("li a0, 0x5000\njalr zero, a0, 0\necall", memory)
+
+    def test_runaway_program_detected(self, memory):
+        with pytest.raises(ExecutionError, match="exceeded"):
+            run_source("spin:\nj spin", memory, max_instructions=1000)
+
+    def test_instruction_mix_recorded(self, memory):
+        core = run_source("li a0, 3\nmul a1, a0, a0\nsw a1, 0(zero)\necall", memory)
+        assert core.instruction_mix[InstructionClass.MUL] == 1
+        assert core.instruction_mix[InstructionClass.STORE] == 1
+
+    def test_execute_after_halt_rejected(self, memory):
+        core = run_source("ecall", memory)
+        with pytest.raises(ExecutionError):
+            core.execute(core.program.at(0), memory)

@@ -1,0 +1,129 @@
+"""End-to-end tests: assembly programs running on the full simulation stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import MemPoolCluster
+from repro.core.config import MemPoolConfig
+from repro.core.system import MemPoolSystem
+from repro.snitch import assemble
+from repro.snitch.agent import make_snitch_agents
+from repro.snitch.programs import (
+    dot_product_source,
+    matmul_source,
+    reduction_tree_source,
+    vector_add_source,
+)
+
+
+def run_parallel_program(cluster, source, symbols):
+    program = assemble(source, symbols=symbols)
+    agents = make_snitch_agents(
+        cluster,
+        program,
+        argument_builder=lambda core: {10: core, 11: cluster.config.num_cores},
+    )
+    return MemPoolSystem(cluster, agents).run()
+
+
+@pytest.fixture
+def cluster():
+    return MemPoolCluster(MemPoolConfig.tiny("toph"))
+
+
+class TestVectorAdd:
+    def test_result_matches_numpy(self, cluster):
+        length = 64
+        a = np.arange(length, dtype=np.int64)
+        b = 3 * np.arange(length, dtype=np.int64) - 11
+        region_a = cluster.layout.alloc_shared("a", length * 4)
+        region_b = cluster.layout.alloc_shared("b", length * 4)
+        region_c = cluster.layout.alloc_shared("c", length * 4)
+        cluster.memory.write_words(region_a.base, a)
+        cluster.memory.write_words(region_b.base, b)
+        result = run_parallel_program(
+            cluster,
+            vector_add_source(),
+            {"vec_a": region_a.base, "vec_b": region_b.base,
+             "vec_c": region_c.base, "vec_len": length},
+        )
+        assert np.array_equal(cluster.memory.read_words(region_c.base, length), a + b)
+        assert result.active_cores == cluster.config.num_cores
+
+    def test_all_cores_share_the_work(self, cluster):
+        length = 64
+        region_a = cluster.layout.alloc_shared("a", length * 4)
+        region_b = cluster.layout.alloc_shared("b", length * 4)
+        region_c = cluster.layout.alloc_shared("c", length * 4)
+        result = run_parallel_program(
+            cluster,
+            vector_add_source(),
+            {"vec_a": region_a.base, "vec_b": region_b.base,
+             "vec_c": region_c.base, "vec_len": length},
+        )
+        loads_per_core = [stats.loads for stats in result.core_stats]
+        assert min(loads_per_core) > 0
+        assert max(loads_per_core) == min(loads_per_core)
+
+
+class TestDotProduct:
+    def test_atomic_reduction_matches_numpy(self, cluster):
+        length = 48
+        rng = np.random.default_rng(7)
+        a = rng.integers(-50, 50, length)
+        b = rng.integers(-50, 50, length)
+        region_a = cluster.layout.alloc_shared("a", length * 4)
+        region_b = cluster.layout.alloc_shared("b", length * 4)
+        region_r = cluster.layout.alloc_shared("r", 4)
+        cluster.memory.write_words(region_a.base, a)
+        cluster.memory.write_words(region_b.base, b)
+        run_parallel_program(
+            cluster,
+            dot_product_source(),
+            {"vec_a": region_a.base, "vec_b": region_b.base,
+             "vec_len": length, "dot_result": region_r.base},
+        )
+        assert cluster.memory.read_signed(region_r.base) == int(np.dot(a, b))
+
+
+class TestReduction:
+    def test_sum_matches_numpy(self, cluster):
+        length = 100
+        values = np.arange(length, dtype=np.int64) - 17
+        region = cluster.layout.alloc_shared("v", length * 4)
+        result_region = cluster.layout.alloc_shared("sum", 4)
+        cluster.memory.write_words(region.base, values)
+        run_parallel_program(
+            cluster,
+            reduction_tree_source(),
+            {"vec_a": region.base, "vec_len": length, "sum_result": result_region.base},
+        )
+        assert cluster.memory.read_signed(result_region.base) == int(values.sum())
+
+
+class TestAssemblyMatmul:
+    def test_matches_numpy_on_all_topologies(self):
+        size = 8
+        rng = np.random.default_rng(3)
+        a = rng.integers(-9, 9, (size, size))
+        b = rng.integers(-9, 9, (size, size))
+        cycle_counts = {}
+        for topology in ("top1", "toph", "topx"):
+            cluster = MemPoolCluster(MemPoolConfig.tiny(topology))
+            region_a = cluster.layout.alloc_shared("a", size * size * 4)
+            region_b = cluster.layout.alloc_shared("b", size * size * 4)
+            region_c = cluster.layout.alloc_shared("c", size * size * 4)
+            cluster.memory.write_matrix(region_a.base, a)
+            cluster.memory.write_matrix(region_b.base, b)
+            result = run_parallel_program(
+                cluster,
+                matmul_source(),
+                {"mat_a": region_a.base, "mat_b": region_b.base,
+                 "mat_c": region_c.base, "mat_n": size},
+            )
+            product = cluster.memory.read_matrix(region_c.base, size, size)
+            assert np.array_equal(product, a @ b)
+            cycle_counts[topology] = result.cycles
+        # The ideal crossbar must be at least as fast as the real topologies.
+        assert cycle_counts["topx"] <= cycle_counts["toph"]
+        assert cycle_counts["topx"] <= cycle_counts["top1"]

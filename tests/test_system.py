@@ -1,0 +1,89 @@
+"""Tests of the execution-driven system simulator (barrier, run loop, results)."""
+
+import pytest
+
+from repro.core.agents import Barrier, Compute, IdleAgent, Load, TraceAgent, Use
+from repro.core.cluster import MemPoolCluster
+from repro.core.config import MemPoolConfig
+from repro.core.system import GlobalBarrier, MemPoolSystem, run_program
+
+
+class TestGlobalBarrier:
+    def test_releases_only_when_everyone_arrived(self):
+        barrier = GlobalBarrier({0, 1, 2})
+        barrier.arrive(0)
+        barrier.arrive(1)
+        assert not barrier.try_release()
+        barrier.arrive(2)
+        assert barrier.try_release()
+        assert barrier.episodes == 1
+
+    def test_non_participant_rejected(self):
+        barrier = GlobalBarrier({0})
+        with pytest.raises(ValueError):
+            barrier.arrive(3)
+
+    def test_reusable_across_episodes(self):
+        barrier = GlobalBarrier({0, 1})
+        for _ in range(3):
+            barrier.arrive(0)
+            barrier.arrive(1)
+            assert barrier.try_release()
+        assert barrier.episodes == 3
+
+
+class TestSystemRun:
+    def test_all_cores_execute_their_programs(self, toph_tiny_cluster):
+        config = toph_tiny_cluster.config
+        agents = {
+            core: TraceAgent([Compute(core + 1)]) for core in range(config.num_cores)
+        }
+        result = MemPoolSystem(toph_tiny_cluster, agents).run()
+        assert result.active_cores == config.num_cores
+        assert result.total.compute_cycles == sum(range(1, config.num_cores + 1))
+
+    def test_idle_cores_do_not_participate_in_barriers(self, toph_tiny_cluster):
+        agents = {
+            0: TraceAgent([Barrier(), Compute(1)]),
+            1: TraceAgent([Barrier(), Compute(1)]),
+        }
+        result = MemPoolSystem(toph_tiny_cluster, agents).run()
+        assert result.barrier_episodes == 1
+
+    def test_explicit_barrier_participants(self, toph_tiny_cluster):
+        agents = {0: TraceAgent([Barrier()]), 1: TraceAgent([Compute(1)])}
+        system = MemPoolSystem(toph_tiny_cluster, agents, barrier_participants={0})
+        result = system.run()
+        assert result.barrier_episodes == 1
+
+    def test_run_program_helper(self):
+        cluster = MemPoolCluster(MemPoolConfig.tiny("topx"))
+        result = run_program(cluster, {0: TraceAgent([Compute(5)])})
+        assert result.cycles >= 5
+
+    def test_result_counts_network_traffic(self, toph_tiny_cluster):
+        address = toph_tiny_cluster.layout.stack_pointer(0) - 4
+        agents = {0: TraceAgent([Load(address, tag="a"), Use("a")])}
+        result = MemPoolSystem(toph_tiny_cluster, agents).run()
+        assert result.injected_requests == 1
+        assert result.completed_requests == 1
+
+    def test_ipc_property(self, toph_tiny_cluster):
+        agents = {0: TraceAgent([Compute(10)])}
+        result = MemPoolSystem(toph_tiny_cluster, agents).run()
+        assert 0 < result.ipc <= 1.0
+
+    def test_deadlock_report_mentions_unfinished_cores(self, toph_tiny_cluster):
+        agents = {0: TraceAgent([Barrier()]), 1: TraceAgent([Compute(1), Barrier(), Barrier()])}
+        system = MemPoolSystem(toph_tiny_cluster, agents)
+        with pytest.raises(RuntimeError, match="unfinished"):
+            system.run(max_cycles=200)
+
+    def test_empty_system_finishes_immediately(self, toph_tiny_cluster):
+        result = MemPoolSystem(toph_tiny_cluster, {}).run()
+        assert result.cycles <= 1
+        assert result.instructions == 0
+
+    def test_idle_agent_generates_no_work(self):
+        agent = IdleAgent()
+        assert list(agent.operations()) == []

@@ -1,0 +1,74 @@
+"""Tests of the additional vector kernels (axpy, dot product)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import MemPoolCluster
+from repro.core.config import MemPoolConfig
+from repro.kernels import EXTRA_KERNELS, AxpyKernel, DotProductKernel
+
+
+def tiny_cluster(topology="toph", **overrides):
+    return MemPoolCluster(MemPoolConfig.tiny(topology, **overrides))
+
+
+class TestAxpyKernel:
+    def test_result_matches_numpy(self):
+        kernel = AxpyKernel(tiny_cluster(), length=128, scalar=5)
+        result = kernel.run()
+        assert result.correct
+        assert np.array_equal(kernel.result(), 5 * kernel.x + kernel.y)
+
+    def test_all_cores_participate(self):
+        kernel = AxpyKernel(tiny_cluster(), length=128)
+        result = kernel.run(verify=False)
+        assert result.system.active_cores == 16
+
+    def test_streaming_kernel_issues_two_loads_and_one_store_per_element(self):
+        length = 64
+        kernel = AxpyKernel(tiny_cluster(), length=length)
+        result = kernel.run(verify=False)
+        total = result.system.total
+        assert total.loads == 2 * length
+        assert total.stores == length
+
+    def test_short_vector_with_ragged_chunks(self):
+        kernel = AxpyKernel(tiny_cluster(), length=37)
+        assert kernel.run().correct
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            AxpyKernel(tiny_cluster(), length=0)
+
+    def test_negative_scalar(self):
+        kernel = AxpyKernel(tiny_cluster(), length=32, scalar=-7)
+        assert kernel.run().correct
+
+    def test_ideal_topology_not_slower(self):
+        real = AxpyKernel(tiny_cluster("toph"), length=128).run(verify=False).cycles
+        ideal = AxpyKernel(tiny_cluster("topx"), length=128).run(verify=False).cycles
+        assert ideal <= real
+
+
+class TestDotProductKernel:
+    def test_result_matches_numpy(self):
+        kernel = DotProductKernel(tiny_cluster(), length=200)
+        result = kernel.run()
+        assert result.correct
+        assert kernel.result()[0] == int(np.dot(kernel.a, kernel.b))
+
+    def test_barrier_used_exactly_once(self):
+        kernel = DotProductKernel(tiny_cluster(), length=64)
+        result = kernel.run(verify=False)
+        assert result.system.barrier_episodes == 1
+
+    def test_uneven_length_distribution(self):
+        kernel = DotProductKernel(tiny_cluster(), length=101)
+        assert kernel.run().correct
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            DotProductKernel(tiny_cluster(), length=-1)
+
+    def test_registry_contains_extra_kernels(self):
+        assert set(EXTRA_KERNELS) == {"axpy", "dotprod"}
