@@ -1,0 +1,39 @@
+# Developer entry points for the MemPool reproduction.
+#
+#   make test       unit/integration tests (tier-1 verify)
+#   make bench      benchmark harness (regenerates every figure/table)
+#   make docs-lint  docstring lint over the public API
+#   make figures    regenerate all paper figures through the sweep engine
+#   make clean-cache  drop the on-disk experiment result cache
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+WORKERS ?= 1
+
+.PHONY: test bench docs-lint figures clean-cache
+
+test:
+	$(PYTHON) -m pytest -x -q tests
+
+bench:
+	$(PYTHON) -m pytest -q benchmarks
+
+# Prefer ruff's pydocstyle (D) rules or pydocstyle itself when available;
+# fall back to the bundled AST checker (same missing-docstring subset) on
+# offline machines that have neither.
+docs-lint:
+	@if $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check --select D1 src/repro/experiments src/repro/evaluation; \
+	elif $(PYTHON) -c "import pydocstyle" >/dev/null 2>&1; then \
+		$(PYTHON) -m pydocstyle --select D100,D101,D102,D103,D104 \
+			src/repro/experiments src/repro/evaluation; \
+	else \
+		$(PYTHON) tools/docs_lint.py src/repro/experiments src/repro/evaluation \
+			src/repro/traffic src/repro/kernels; \
+	fi
+
+figures:
+	$(PYTHON) -m repro.experiments run --workers $(WORKERS)
+
+clean-cache:
+	$(PYTHON) -m repro.experiments clean

@@ -21,27 +21,58 @@ class BarrierTimeoutError(RuntimeError):
     """Raised when a program deadlocks (e.g. mismatched barrier usage)."""
 
 
+class BarrierMismatchError(RuntimeError):
+    """Raised when cores meet at a barrier with different ``barrier_id``s."""
+
+
 class GlobalBarrier:
-    """A simple all-core barrier used by the parallel kernels."""
+    """A simple all-core barrier used by the parallel kernels.
+
+    Every participant calls :meth:`arrive` with the identifier of the
+    barrier it reached; the barrier releases once all participants have
+    arrived.  The identifiers must agree within one episode — a program
+    where core A sits at barrier 1 while core B announces barrier 2 is
+    broken (the cores would be synchronising different program points),
+    and such a meeting raises :class:`BarrierMismatchError` instead of
+    silently releasing.
+    """
 
     def __init__(self, participants: set[int]) -> None:
         self.participants = set(participants)
-        self._arrived: set[int] = set()
+        #: Arrived cores mapped to the barrier id each one announced.
+        self._arrived: dict[int, int] = {}
         #: Number of completed barrier episodes (for statistics).
         self.episodes = 0
 
     def arrive(self, core_id: int, barrier_id: int = 0) -> None:
+        """Record that ``core_id`` reached the barrier named ``barrier_id``."""
         if core_id not in self.participants:
             raise ValueError(f"core {core_id} is not a barrier participant")
-        self._arrived.add(core_id)
+        self._arrived[core_id] = barrier_id
 
     @property
     def waiting(self) -> int:
+        """Number of cores currently blocked at the barrier."""
         return len(self._arrived)
 
     def try_release(self) -> bool:
-        """Release the barrier if every participant has arrived."""
-        if self.participants and self._arrived >= self.participants:
+        """Release the barrier if every participant has arrived.
+
+        Raises
+        ------
+        BarrierMismatchError
+            If the participants arrived with differing ``barrier_id``s.
+        """
+        if self.participants and set(self._arrived) >= self.participants:
+            identifiers = set(self._arrived.values())
+            if len(identifiers) > 1:
+                arrivals = ", ".join(
+                    f"core {core}: barrier {bid}"
+                    for core, bid in sorted(self._arrived.items())
+                )
+                raise BarrierMismatchError(
+                    f"participants arrived at different barriers ({arrivals})"
+                )
             self._arrived.clear()
             self.episodes += 1
             return True

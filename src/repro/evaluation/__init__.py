@@ -1,28 +1,51 @@
-"""Experiment drivers reproducing every figure and table of the paper."""
+"""Experiment drivers reproducing every figure and table of the paper.
+
+Each ``figX``/table module contributes three layers to the shared sweep
+engine of :mod:`repro.experiments`:
+
+* a module-level *point function* (``simulate_*_point`` / ``compute_*``)
+  that runs one parameter combination from picklable arguments,
+* a *sweep builder* (``figX_sweep``) describing the figure's parameter
+  grid, and an *assembler* (``assemble_figX``) folding per-point results
+  back into the figure's result object, and
+* the classic ``run_figX`` convenience entry point, which wires the three
+  together on a (by default serial, uncached) executor.
+"""
 
 from repro.evaluation.settings import ExperimentSettings
-from repro.evaluation.fig5 import Fig5Result, run_fig5
-from repro.evaluation.fig6 import Fig6Result, run_fig6
-from repro.evaluation.fig7 import Fig7Result, run_fig7
-from repro.evaluation.fig10 import Fig10Result, run_fig10
+from repro.evaluation.fig5 import Fig5Result, fig5_sweep, run_fig5
+from repro.evaluation.fig6 import Fig6Result, fig6_sweep, run_fig6
+from repro.evaluation.fig7 import Fig7Result, fig7_sweep, run_fig7
+from repro.evaluation.fig10 import Fig10Result, fig10_sweep, run_fig10
 from repro.evaluation.physical_tables import (
     PhysicalTablesResult,
+    physical_sweep,
     run_physical_tables,
 )
-from repro.evaluation.power_table import PowerTableResult, run_power_table
+from repro.evaluation.power_table import (
+    PowerTableResult,
+    power_sweep,
+    run_power_table,
+)
 
 __all__ = [
     "ExperimentSettings",
     "run_fig5",
     "Fig5Result",
+    "fig5_sweep",
     "run_fig6",
     "Fig6Result",
+    "fig6_sweep",
     "run_fig7",
     "Fig7Result",
+    "fig7_sweep",
     "run_fig10",
     "Fig10Result",
+    "fig10_sweep",
     "run_power_table",
     "PowerTableResult",
+    "power_sweep",
     "run_physical_tables",
     "PhysicalTablesResult",
+    "physical_sweep",
 ]

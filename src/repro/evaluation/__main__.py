@@ -2,53 +2,73 @@
 
 Usage::
 
-    python -m repro.evaluation              # scaled 64-core cluster (fast)
-    MEMPOOL_FULL=1 python -m repro.evaluation   # full 256-core cluster
+    python -m repro.evaluation                    # scaled 64-core cluster
+    MEMPOOL_FULL=1 python -m repro.evaluation     # full 256-core cluster
+    python -m repro.evaluation fig5 fig7          # a subset, by name
+    python -m repro.evaluation --workers 8        # parallel sweep points
+    python -m repro.evaluation --cache            # reuse cached results
 
-Individual experiments can be selected by name::
-
-    python -m repro.evaluation fig5 fig7
+All experiments are driven through the :mod:`repro.experiments` engine:
+one shared sweep/executor code path instead of per-figure loops.  This
+entry point stays serial and uncached by default (matching the seed
+behaviour exactly); ``python -m repro.experiments run`` is the
+cache-by-default front-end.
 """
 
 from __future__ import annotations
 
-import sys
-import time
+import argparse
 
-from repro.evaluation import (
-    ExperimentSettings,
-    run_fig5,
-    run_fig6,
-    run_fig7,
-    run_fig10,
-    run_physical_tables,
-    run_power_table,
+from repro.evaluation.settings import ExperimentSettings
+from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.executor import Executor
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    resolve_selection,
+    run_experiments,
 )
-
-EXPERIMENTS = {
-    "fig5": run_fig5,
-    "fig6": run_fig6,
-    "fig7": run_fig7,
-    "fig10": run_fig10,
-    "power": run_power_table,
-    "physical": run_physical_tables,
-}
 
 
 def main(argv: list[str] | None = None) -> int:
-    arguments = sys.argv[1:] if argv is None else argv
-    selected = arguments or list(EXPERIMENTS)
-    unknown = [name for name in selected if name not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiments: {', '.join(unknown)}")
-        print(f"available: {', '.join(EXPERIMENTS)}")
+    """Run the selected experiments and print their reports.
+
+    Examples
+    --------
+    >>> main(["fig10"])  # doctest: +ELLIPSIS
+    MemPool reproduction...
+    0
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"names to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "-w", "--workers", type=int, default=1,
+        help="worker processes for the sweep points (1 = serial, 0 = all CPUs)",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help=f"read/write the on-disk result cache ({default_cache_dir()})",
+    )
+    args = parser.parse_args(argv)
+
+    selected, error = resolve_selection(args.experiments)
+    if error:
+        print(error)
         return 1
+    executor = Executor(
+        workers=args.workers,
+        cache=ResultCache() if args.cache else None,
+    )
     settings = ExperimentSettings()
     print(f"MemPool reproduction — experiment scale: {settings.scale_label}\n")
-    for name in selected:
-        start = time.time()
-        result = EXPERIMENTS[name](settings)
-        elapsed = time.time() - start
+    for name, result, elapsed in run_experiments(selected, settings, executor):
         print(f"=== {name} ({elapsed:.1f} s) ===")
         print(result.report())
         print()

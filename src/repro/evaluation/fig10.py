@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.core.cluster import MemPoolCluster
 from repro.energy import EnergyModel, InstructionEnergy
 from repro.evaluation.settings import ExperimentSettings
+from repro.experiments import Executor, Sweep
 from repro.utils.tables import format_table
 
 
@@ -26,6 +27,7 @@ class Fig10Result:
     entries: list[InstructionEnergy] = field(default_factory=list)
 
     def entry(self, name: str) -> InstructionEnergy:
+        """Return the energy entry named ``name``."""
         for candidate in self.entries:
             if candidate.name == name:
                 return candidate
@@ -33,24 +35,29 @@ class Fig10Result:
 
     @property
     def remote_over_local(self) -> float:
+        """Remote-load energy divided by local-load energy."""
         return self.entry("remote load").total_pj / self.entry("local load").total_pj
 
     @property
     def remote_over_add(self) -> float:
+        """Remote-load energy divided by ``add`` energy."""
         return self.entry("remote load").total_pj / self.entry("add").total_pj
 
     @property
     def local_over_add(self) -> float:
+        """Local-load energy divided by ``add`` energy."""
         return self.entry("local load").total_pj / self.entry("add").total_pj
 
     @property
     def interconnect_remote_over_local(self) -> float:
+        """Interconnect-energy ratio of a remote over a local load."""
         return (
             self.entry("remote load").interconnect_pj
             / self.entry("local load").interconnect_pj
         )
 
     def report(self) -> str:
+        """Textual rendering of the Figure 10 table plus the headline ratios."""
         rows = [
             [entry.name, entry.core_pj, entry.interconnect_pj, entry.bank_pj, entry.total_pj]
             for entry in self.entries
@@ -70,18 +77,73 @@ class Fig10Result:
         return f"{table}\n{ratios}"
 
 
-def run_fig10(
+def compute_fig10_point(*, topology: str = "toph") -> list[InstructionEnergy]:
+    """Compute the per-instruction energy entries for one topology.
+
+    Module-level point function of the sweep engine (see
+    :mod:`repro.experiments`).  The energy figures always refer to the
+    full 64-tile cluster (the remote-access mix depends on the cluster
+    size), so the simulation scale is not a parameter.
+
+    Parameters
+    ----------
+    topology : str
+        Interconnect topology to evaluate.
+
+    Returns
+    -------
+    list of InstructionEnergy
+        One entry per instruction class (add, mul, local/remote load).
+
+    Examples
+    --------
+    >>> entries = compute_fig10_point(topology="toph")
+    >>> any(entry.name == "remote load" for entry in entries)
+    True
+    """
+    from repro.core.config import MemPoolConfig
+
+    cluster = MemPoolCluster(MemPoolConfig.full(topology))
+    return EnergyModel(cluster).instruction_energies()
+
+
+def fig10_sweep(
     settings: ExperimentSettings | None = None, topology: str = "toph"
+) -> Sweep:
+    """The (single-point) Figure 10 sweep for ``topology``."""
+    del settings  # the energy table does not depend on the simulation scale
+    return Sweep(
+        runner="repro.evaluation.fig10:compute_fig10_point",
+        base={"topology": topology},
+        name="fig10",
+    )
+
+
+def assemble_fig10(specs, results) -> Fig10Result:
+    """Wrap the single point's entries into a :class:`Fig10Result`."""
+    del specs
+    (entries,) = results
+    return Fig10Result(entries=entries)
+
+
+def run_fig10(
+    settings: ExperimentSettings | None = None,
+    topology: str = "toph",
+    executor: Executor | None = None,
 ) -> Fig10Result:
     """Compute the Figure 10 breakdown for ``topology``.
 
     The energy figures always refer to the full 64-tile cluster (the remote
     access mix depends on the cluster size), regardless of the simulation
     scale used for the performance experiments.
-    """
-    del settings  # the energy table does not depend on the simulation scale
-    from repro.core.config import MemPoolConfig
 
-    cluster = MemPoolCluster(MemPoolConfig.full(topology))
-    model = EnergyModel(cluster)
-    return Fig10Result(entries=model.instruction_energies())
+    Examples
+    --------
+    >>> result = run_fig10()
+    >>> result.remote_over_local > 1.0
+    True
+    """
+    sweep = fig10_sweep(settings, topology)
+    specs = sweep.specs()
+    results = (executor or Executor()).run(specs)
+    return assemble_fig10(specs, results)

@@ -16,7 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.cluster import MemPoolCluster
-from repro.evaluation.settings import ExperimentSettings
+from repro.evaluation.series import collect_series
+from repro.evaluation.settings import (
+    DEFAULT_MEASURE_CYCLES,
+    DEFAULT_SEED,
+    DEFAULT_WARMUP_CYCLES,
+    ExperimentSettings,
+)
+from repro.experiments import Executor, ExperimentSpec, Sweep
 from repro.traffic import TrafficResult, TrafficSimulation
 from repro.utils.ascii_plot import ascii_plot
 from repro.utils.tables import format_series
@@ -35,9 +42,11 @@ class Fig5Result:
     results: dict[str, list[TrafficResult]] = field(default_factory=dict)
 
     def throughput(self, topology: str) -> list[float]:
+        """Accepted-throughput series of ``topology``, one value per load."""
         return [result.throughput for result in self.results[topology]]
 
     def latency(self, topology: str) -> list[float]:
+        """Average-latency series of ``topology``, one value per load."""
         return [result.average_latency for result in self.results[topology]]
 
     def saturation_throughput(self, topology: str) -> float:
@@ -50,6 +59,7 @@ class Fig5Result:
         return self.latency(topology)[index]
 
     def report(self) -> str:
+        """Textual rendering of Figures 5a (throughput) and 5b (latency)."""
         throughput = format_series(
             "injected load",
             list(self.loads),
@@ -75,24 +85,113 @@ class Fig5Result:
         )
 
 
+def simulate_fig5_point(
+    *,
+    topology: str,
+    load: float,
+    full_scale: bool = False,
+    warmup_cycles: int = DEFAULT_WARMUP_CYCLES,
+    measure_cycles: int = DEFAULT_MEASURE_CYCLES,
+    seed: int = DEFAULT_SEED,
+) -> TrafficResult:
+    """Simulate one (topology, load) point of Figure 5.
+
+    This is the sweep-engine *point function*: a module-level callable
+    taking only picklable keyword arguments, so worker processes can
+    re-import and run it (see :mod:`repro.experiments`).  Every point
+    builds its own cluster and RNGs, making points independent.
+
+    Parameters
+    ----------
+    topology : str
+        Interconnect topology (``top1``, ``top4``, ``toph`` or ``topx``).
+    load : float
+        Injected load in requests per core per cycle.
+    full_scale : bool
+        Use the full 256-core cluster instead of the scaled 64-core one.
+    warmup_cycles, measure_cycles : int
+        Warm-up and measurement windows of the traffic simulation.
+    seed : int
+        Seed of the traffic generator.
+
+    Returns
+    -------
+    TrafficResult
+        Throughput/latency measurements of the point.
+
+    Examples
+    --------
+    >>> result = simulate_fig5_point(
+    ...     topology="toph", load=0.1, warmup_cycles=50, measure_cycles=100)
+    >>> 0.0 < result.throughput <= 0.2
+    True
+    """
+    settings = ExperimentSettings(
+        full_scale=full_scale,
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        seed=seed,
+    )
+    cluster = MemPoolCluster(settings.config(topology))
+    simulation = TrafficSimulation(cluster, load, seed=settings.seed)
+    return simulation.run(
+        warmup_cycles=settings.warmup_cycles,
+        measure_cycles=settings.measure_cycles,
+    )
+
+
+def fig5_sweep(
+    settings: ExperimentSettings | None = None,
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    topologies: tuple[str, ...] = FIG5_TOPOLOGIES,
+) -> Sweep:
+    """The (topology x load) parameter grid of Figure 5 as a :class:`Sweep`."""
+    settings = settings or ExperimentSettings()
+    return Sweep(
+        runner="repro.evaluation.fig5:simulate_fig5_point",
+        grid={"topology": tuple(topologies), "load": tuple(loads)},
+        base=settings.as_params(),
+        name="fig5",
+    )
+
+
+def assemble_fig5(
+    specs: list[ExperimentSpec], results: list[TrafficResult]
+) -> Fig5Result:
+    """Group per-point traffic results back into a :class:`Fig5Result`."""
+    loads, grouped = collect_series(specs, results, "topology")
+    return Fig5Result(loads=loads, results=grouped)
+
+
 def run_fig5(
     settings: ExperimentSettings | None = None,
     loads: tuple[float, ...] = DEFAULT_LOADS,
     topologies: tuple[str, ...] = FIG5_TOPOLOGIES,
+    executor: Executor | None = None,
 ) -> Fig5Result:
-    """Run the uniform-random traffic sweep of Figure 5."""
-    settings = settings or ExperimentSettings()
-    outcome = Fig5Result(loads=tuple(loads))
-    for topology in topologies:
-        series = []
-        for load in loads:
-            cluster = MemPoolCluster(settings.config(topology))
-            simulation = TrafficSimulation(cluster, load, seed=settings.seed)
-            series.append(
-                simulation.run(
-                    warmup_cycles=settings.warmup_cycles,
-                    measure_cycles=settings.measure_cycles,
-                )
-            )
-        outcome.results[topology] = series
-    return outcome
+    """Run the uniform-random traffic sweep of Figure 5.
+
+    Parameters
+    ----------
+    settings : ExperimentSettings, optional
+        Scale/window knobs; defaults honour ``MEMPOOL_FULL``.
+    loads : tuple of float
+        Injected loads to sweep.
+    topologies : tuple of str
+        Topologies to sweep.
+    executor : repro.experiments.Executor, optional
+        Sweep engine to run on.  The default is a serial, uncached
+        executor; pass ``Executor(workers=N, cache=...)`` to parallelise
+        and cache.
+
+    Examples
+    --------
+    >>> settings = ExperimentSettings(warmup_cycles=50, measure_cycles=100)
+    >>> result = run_fig5(settings, loads=(0.05,), topologies=("toph",))
+    >>> len(result.throughput("toph"))
+    1
+    """
+    sweep = fig5_sweep(settings, loads, topologies)
+    specs = sweep.specs()
+    results = (executor or Executor()).run(specs)
+    return assemble_fig5(specs, results)

@@ -16,7 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.cluster import MemPoolCluster
-from repro.evaluation.settings import ExperimentSettings
+from repro.evaluation.series import collect_series
+from repro.evaluation.settings import (
+    DEFAULT_MEASURE_CYCLES,
+    DEFAULT_SEED,
+    DEFAULT_WARMUP_CYCLES,
+    ExperimentSettings,
+)
+from repro.experiments import Executor, ExperimentSpec, Sweep
 from repro.traffic import LocalBiasedPattern, TrafficResult, TrafficSimulation
 from repro.utils.ascii_plot import ascii_plot
 from repro.utils.tables import format_series
@@ -35,15 +42,19 @@ class Fig6Result:
     results: dict[float, list[TrafficResult]] = field(default_factory=dict)
 
     def throughput(self, p_local: float) -> list[float]:
+        """Accepted-throughput series for ``p_local``, one value per load."""
         return [result.throughput for result in self.results[p_local]]
 
     def latency(self, p_local: float) -> list[float]:
+        """Average-latency series for ``p_local``, one value per load."""
         return [result.average_latency for result in self.results[p_local]]
 
     def saturation_throughput(self, p_local: float) -> float:
+        """Highest accepted throughput observed for ``p_local``."""
         return max(self.throughput(p_local))
 
     def report(self) -> str:
+        """Textual rendering of Figures 6a (throughput) and 6b (latency)."""
         labels = {f"p_local={p:.0%}": self.throughput(p) for p in self.results}
         throughput = format_series(
             "injected load", list(self.loads), labels,
@@ -67,25 +78,111 @@ class Fig6Result:
         )
 
 
+def simulate_fig6_point(
+    *,
+    p_local: float,
+    load: float,
+    full_scale: bool = False,
+    warmup_cycles: int = DEFAULT_WARMUP_CYCLES,
+    measure_cycles: int = DEFAULT_MEASURE_CYCLES,
+    seed: int = DEFAULT_SEED,
+) -> TrafficResult:
+    """Simulate one (p_local, load) point of Figure 6 on the TopH cluster.
+
+    Module-level point function of the sweep engine (see
+    :mod:`repro.experiments`): all arguments are picklable primitives and
+    each call builds its own cluster, pattern and RNGs.
+
+    Parameters
+    ----------
+    p_local : float
+        Probability that a request targets the issuing core's own tile.
+    load : float
+        Injected load in requests per core per cycle.
+    full_scale : bool
+        Use the full 256-core cluster instead of the scaled 64-core one.
+    warmup_cycles, measure_cycles : int
+        Warm-up and measurement windows of the traffic simulation.
+    seed : int
+        Seed shared by the pattern and the injector.
+
+    Returns
+    -------
+    TrafficResult
+        Throughput/latency measurements of the point.
+
+    Examples
+    --------
+    >>> result = simulate_fig6_point(
+    ...     p_local=1.0, load=0.2, warmup_cycles=50, measure_cycles=100)
+    >>> result.local_fraction
+    1.0
+    """
+    settings = ExperimentSettings(
+        full_scale=full_scale,
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        seed=seed,
+    )
+    cluster = MemPoolCluster(settings.config("toph"))
+    pattern = LocalBiasedPattern(cluster.config, p_local, seed=settings.seed)
+    simulation = TrafficSimulation(cluster, load, pattern=pattern, seed=settings.seed)
+    return simulation.run(
+        warmup_cycles=settings.warmup_cycles,
+        measure_cycles=settings.measure_cycles,
+    )
+
+
+def fig6_sweep(
+    settings: ExperimentSettings | None = None,
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    p_locals: tuple[float, ...] = DEFAULT_P_LOCAL,
+) -> Sweep:
+    """The (p_local x load) parameter grid of Figure 6 as a :class:`Sweep`."""
+    settings = settings or ExperimentSettings()
+    return Sweep(
+        runner="repro.evaluation.fig6:simulate_fig6_point",
+        grid={"p_local": tuple(p_locals), "load": tuple(loads)},
+        base=settings.as_params(),
+        name="fig6",
+    )
+
+
+def assemble_fig6(
+    specs: list[ExperimentSpec], results: list[TrafficResult]
+) -> Fig6Result:
+    """Group per-point traffic results back into a :class:`Fig6Result`."""
+    loads, grouped = collect_series(specs, results, "p_local")
+    return Fig6Result(loads=loads, results=grouped)
+
+
 def run_fig6(
     settings: ExperimentSettings | None = None,
     loads: tuple[float, ...] = DEFAULT_LOADS,
     p_locals: tuple[float, ...] = DEFAULT_P_LOCAL,
+    executor: Executor | None = None,
 ) -> Fig6Result:
-    """Run the locality-biased traffic sweep of Figure 6 (TopH only)."""
-    settings = settings or ExperimentSettings()
-    outcome = Fig6Result(loads=tuple(loads))
-    for p_local in p_locals:
-        series = []
-        for load in loads:
-            cluster = MemPoolCluster(settings.config("toph"))
-            pattern = LocalBiasedPattern(cluster.config, p_local, seed=settings.seed)
-            simulation = TrafficSimulation(cluster, load, pattern=pattern, seed=settings.seed)
-            series.append(
-                simulation.run(
-                    warmup_cycles=settings.warmup_cycles,
-                    measure_cycles=settings.measure_cycles,
-                )
-            )
-        outcome.results[p_local] = series
-    return outcome
+    """Run the locality-biased traffic sweep of Figure 6 (TopH only).
+
+    Parameters
+    ----------
+    settings : ExperimentSettings, optional
+        Scale/window knobs; defaults honour ``MEMPOOL_FULL``.
+    loads : tuple of float
+        Injected loads to sweep.
+    p_locals : tuple of float
+        Local-access probabilities to sweep.
+    executor : repro.experiments.Executor, optional
+        Sweep engine to run on; defaults to a serial, uncached executor.
+
+    Examples
+    --------
+    >>> settings = ExperimentSettings(warmup_cycles=50, measure_cycles=100)
+    >>> result = run_fig6(settings, loads=(0.2,), p_locals=(0.0, 1.0))
+    >>> result.latency(1.0)[-1] < result.latency(0.0)[-1]  # local is faster
+    True
+    """
+    sweep = fig6_sweep(settings, loads, p_locals)
+    specs = sweep.specs()
+    results = (executor or Executor()).run(specs)
+    return assemble_fig6(specs, results)

@@ -19,7 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.cluster import MemPoolCluster
-from repro.evaluation.settings import ExperimentSettings
+from repro.evaluation.settings import DEFAULT_SEED, ExperimentSettings
+from repro.experiments import Executor, ExperimentSpec, Sweep
 from repro.kernels import Conv2dKernel, DctKernel, KernelResult, MatmulKernel
 from repro.utils.tables import format_table
 
@@ -53,6 +54,7 @@ class Fig7Result:
         return self.cycles[(kernel, topology, False)] / self.cycles[(kernel, topology, True)]
 
     def all_correct(self) -> bool:
+        """Whether every kernel run verified against its numpy reference."""
         return all(result.correct for result in self.results.values())
 
     def _present(self, candidates, index) -> list[str]:
@@ -64,6 +66,7 @@ class Fig7Result:
         ]
 
     def report(self) -> str:
+        """Textual rendering of the Figure 7 relative-performance table."""
         kernels = self._present(FIG7_KERNELS, 0)
         topologies = self._present(FIG7_TOPOLOGIES, 1)
         headers = ["benchmark"]
@@ -97,23 +100,116 @@ def _build_kernel(name: str, cluster: MemPoolCluster, settings: ExperimentSettin
     raise ValueError(f"unknown kernel {name!r}")
 
 
+def simulate_fig7_point(
+    *,
+    kernel: str,
+    topology: str,
+    scrambling: bool,
+    full_scale: bool = False,
+    seed: int = DEFAULT_SEED,
+    verify: bool = True,
+) -> KernelResult:
+    """Simulate one (kernel, topology, scrambling) point of Figure 7.
+
+    Module-level point function of the sweep engine (see
+    :mod:`repro.experiments`): every call builds a fresh cluster and
+    kernel from picklable primitives, so points are independent and the
+    sweep parallelises across processes.
+
+    Parameters
+    ----------
+    kernel : str
+        Benchmark name: ``matmul``, ``2dconv`` or ``dct``.
+    topology : str
+        Interconnect topology (``topx`` is the ideal-crossbar baseline).
+    scrambling : bool
+        Whether the hybrid-addressing scrambling logic is enabled.
+    full_scale : bool
+        Use the full 256-core cluster and the paper's benchmark sizes.
+    seed : int
+        Seed of the kernel's input data.
+    verify : bool
+        Check the simulated memory contents against a numpy reference.
+
+    Returns
+    -------
+    KernelResult
+        Cycle count, correctness flag and activity counters.
+
+    Examples
+    --------
+    >>> result = simulate_fig7_point(
+    ...     kernel="dct", topology="toph", scrambling=True)
+    >>> result.correct and result.cycles > 0
+    True
+    """
+    settings = ExperimentSettings(full_scale=full_scale, seed=seed)
+    config = settings.config(topology, scrambling_enabled=scrambling)
+    cluster = MemPoolCluster(config)
+    return _build_kernel(kernel, cluster, settings).run(verify=verify)
+
+
+def fig7_sweep(
+    settings: ExperimentSettings | None = None,
+    kernels: tuple[str, ...] = FIG7_KERNELS,
+    topologies: tuple[str, ...] = FIG7_TOPOLOGIES,
+    verify: bool = True,
+) -> Sweep:
+    """The (kernel x topology x scrambling) grid of Figure 7 as a :class:`Sweep`."""
+    settings = settings or ExperimentSettings()
+    return Sweep(
+        runner="repro.evaluation.fig7:simulate_fig7_point",
+        grid={
+            "kernel": tuple(kernels),
+            "topology": tuple(topologies),
+            "scrambling": (False, True),
+        },
+        base={"full_scale": settings.full_scale, "seed": settings.seed, "verify": verify},
+        name="fig7",
+    )
+
+
+def assemble_fig7(
+    specs: list[ExperimentSpec], results: list[KernelResult]
+) -> Fig7Result:
+    """Index per-point kernel results back into a :class:`Fig7Result`."""
+    outcome = Fig7Result()
+    for spec, result in zip(specs, results):
+        key = (spec.params["kernel"], spec.params["topology"], spec.params["scrambling"])
+        outcome.cycles[key] = result.cycles
+        outcome.results[key] = result
+    return outcome
+
+
 def run_fig7(
     settings: ExperimentSettings | None = None,
     kernels: tuple[str, ...] = FIG7_KERNELS,
     topologies: tuple[str, ...] = FIG7_TOPOLOGIES,
     verify: bool = True,
+    executor: Executor | None = None,
 ) -> Fig7Result:
-    """Run every (kernel, topology, scrambling) combination of Figure 7."""
-    settings = settings or ExperimentSettings()
-    outcome = Fig7Result()
-    for kernel_name in kernels:
-        for topology in topologies:
-            for scrambling in (False, True):
-                config = settings.config(topology, scrambling_enabled=scrambling)
-                cluster = MemPoolCluster(config)
-                kernel = _build_kernel(kernel_name, cluster, settings)
-                result = kernel.run(verify=verify)
-                key = (kernel_name, topology, scrambling)
-                outcome.cycles[key] = result.cycles
-                outcome.results[key] = result
-    return outcome
+    """Run every (kernel, topology, scrambling) combination of Figure 7.
+
+    Parameters
+    ----------
+    settings : ExperimentSettings, optional
+        Scale knobs; defaults honour ``MEMPOOL_FULL``.
+    kernels, topologies : tuple of str
+        Subsets of the figure's grid to run.
+    verify : bool
+        Check every kernel's memory contents against a numpy reference.
+    executor : repro.experiments.Executor, optional
+        Sweep engine to run on.  ``Executor(workers=N)`` parallelises the
+        24-point grid across N processes; a cached executor makes warm
+        re-runs near-instant.
+
+    Examples
+    --------
+    >>> result = run_fig7(kernels=("dct",), topologies=("toph", "topx"))
+    >>> result.all_correct()
+    True
+    """
+    sweep = fig7_sweep(settings, kernels, topologies, verify)
+    specs = sweep.specs()
+    results = (executor or Executor()).run(specs)
+    return assemble_fig7(specs, results)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.core.cluster import MemPoolCluster
 from repro.evaluation.settings import ExperimentSettings
+from repro.experiments import Executor, Sweep
 from repro.physical import AreaModel, FloorplanModel, TimingModel
 from repro.physical.area import ClusterAreaReport, TileAreaBreakdown
 from repro.physical.floorplan import CongestionReport
@@ -50,6 +51,7 @@ class PhysicalTablesResult:
     congestion: dict[str, CongestionReport]
 
     def report(self) -> str:
+        """Textual rendering of the Sections VI-B/VI-C tables."""
         tile_rows = [
             ["tile macro side (um)", self.tile.macro_side_um, PAPER_TILE_SIDE_UM],
             ["tile complexity (kGE)", self.tile.total_kge, PAPER_TILE_KGE],
@@ -89,13 +91,30 @@ class PhysicalTablesResult:
         return f"{physical}\n\n{congestion}"
 
 
-def run_physical_tables(
-    settings: ExperimentSettings | None = None, topology: str = "toph"
-) -> PhysicalTablesResult:
-    """Evaluate the physical models on the full-size cluster."""
-    settings = settings or ExperimentSettings()
-    # Physical figures always refer to the full 64-tile cluster, regardless of
-    # the simulation scale used for the performance experiments.
+def compute_physical_point(*, topology: str = "toph") -> PhysicalTablesResult:
+    """Evaluate the physical models on the full-size cluster.
+
+    Module-level point function of the sweep engine (see
+    :mod:`repro.experiments`).  Physical figures always refer to the full
+    64-tile cluster, regardless of the simulation scale used for the
+    performance experiments.
+
+    Parameters
+    ----------
+    topology : str
+        Topology whose tile/cluster macros are evaluated.
+
+    Returns
+    -------
+    PhysicalTablesResult
+        Area, timing and congestion figures.
+
+    Examples
+    --------
+    >>> result = compute_physical_point(topology="toph")
+    >>> result.congestion["toph"].feasible
+    True
+    """
     from repro.core.config import MemPoolConfig
 
     cluster = MemPoolCluster(MemPoolConfig.full(topology))
@@ -109,3 +128,41 @@ def run_physical_tables(
         wire_fraction=timing.wire_fraction(CLUSTER_CRITICAL_PATH, "worst"),
         congestion=floorplan.compare_topologies(),
     )
+
+
+def physical_sweep(
+    settings: ExperimentSettings | None = None, topology: str = "toph"
+) -> Sweep:
+    """The (single-point) Sections VI-B/VI-C physical sweep."""
+    del settings  # the physical models do not depend on the simulation scale
+    return Sweep(
+        runner="repro.evaluation.physical_tables:compute_physical_point",
+        base={"topology": topology},
+        name="physical",
+    )
+
+
+def assemble_physical(specs, results) -> PhysicalTablesResult:
+    """Unwrap the single point of the physical sweep."""
+    del specs
+    (result,) = results
+    return result
+
+
+def run_physical_tables(
+    settings: ExperimentSettings | None = None,
+    topology: str = "toph",
+    executor: Executor | None = None,
+) -> PhysicalTablesResult:
+    """Evaluate the physical models on the full-size cluster.
+
+    Examples
+    --------
+    >>> result = run_physical_tables()
+    >>> 400.0 < result.frequencies_mhz["typical"] < 1000.0
+    True
+    """
+    sweep = physical_sweep(settings, topology)
+    specs = sweep.specs()
+    results = (executor or Executor()).run(specs)
+    return assemble_physical(specs, results)

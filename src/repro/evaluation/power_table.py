@@ -14,7 +14,8 @@ from dataclasses import dataclass
 
 from repro.core.cluster import MemPoolCluster
 from repro.energy import PowerBreakdown, PowerModel
-from repro.evaluation.settings import ExperimentSettings
+from repro.evaluation.settings import DEFAULT_SEED, ExperimentSettings
+from repro.experiments import Executor, Sweep
 from repro.kernels import KernelResult, MatmulKernel
 from repro.utils.tables import format_table
 
@@ -39,6 +40,7 @@ class PowerTableResult:
     frequency_hz: float
 
     def report(self) -> str:
+        """Textual rendering of the Section VI-D power-breakdown table."""
         rows = []
         for name, milliwatts, share in self.breakdown.rows():
             paper_mw, paper_share = PAPER_TILE_POWER.get(name, (float("nan"), float("nan")))
@@ -67,11 +69,39 @@ class PowerTableResult:
         return f"{table}\n{summary}"
 
 
-def run_power_table(
-    settings: ExperimentSettings | None = None, frequency_hz: float = 500e6
+def compute_power_point(
+    *,
+    full_scale: bool = False,
+    seed: int = DEFAULT_SEED,
+    frequency_hz: float = 500e6,
 ) -> PowerTableResult:
-    """Run matmul on TopH and evaluate the power model on its activity."""
-    settings = settings or ExperimentSettings()
+    """Run matmul on TopH and evaluate the power model on its activity.
+
+    Module-level point function of the sweep engine (see
+    :mod:`repro.experiments`): a fresh cluster and kernel are built from
+    the picklable arguments, and the returned result is itself picklable.
+
+    Parameters
+    ----------
+    full_scale : bool
+        Use the full 256-core cluster and the paper's matmul size.
+    seed : int
+        Seed of the matmul input data.
+    frequency_hz : float
+        Operating frequency the power model evaluates at.
+
+    Returns
+    -------
+    PowerTableResult
+        The tile/cluster power breakdown plus the kernel activity.
+
+    Examples
+    --------
+    >>> result = compute_power_point()
+    >>> result.breakdown.tile_total_mw > 0
+    True
+    """
+    settings = ExperimentSettings(full_scale=full_scale, seed=seed)
     cluster = MemPoolCluster(settings.config("toph"))
     kernel = MatmulKernel(cluster, size=settings.matmul_size, seed=settings.seed)
     result = kernel.run(verify=False)
@@ -81,3 +111,45 @@ def run_power_table(
         kernel=result,
         frequency_hz=frequency_hz,
     )
+
+
+def power_sweep(
+    settings: ExperimentSettings | None = None, frequency_hz: float = 500e6
+) -> Sweep:
+    """The (single-point) Section VI-D power sweep."""
+    settings = settings or ExperimentSettings()
+    return Sweep(
+        runner="repro.evaluation.power_table:compute_power_point",
+        base={
+            "full_scale": settings.full_scale,
+            "seed": settings.seed,
+            "frequency_hz": frequency_hz,
+        },
+        name="power",
+    )
+
+
+def assemble_power(specs, results) -> PowerTableResult:
+    """Unwrap the single point of the power sweep."""
+    del specs
+    (result,) = results
+    return result
+
+
+def run_power_table(
+    settings: ExperimentSettings | None = None,
+    frequency_hz: float = 500e6,
+    executor: Executor | None = None,
+) -> PowerTableResult:
+    """Run matmul on TopH and evaluate the power model on its activity.
+
+    Examples
+    --------
+    >>> result = run_power_table()
+    >>> 0.0 < result.breakdown.tiles_fraction <= 1.0
+    True
+    """
+    sweep = power_sweep(settings, frequency_hz)
+    specs = sweep.specs()
+    results = (executor or Executor()).run(specs)
+    return assemble_power(specs, results)

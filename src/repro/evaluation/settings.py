@@ -20,23 +20,52 @@ def _full_scale_from_environment() -> bool:
     return os.environ.get("MEMPOOL_FULL", "0") not in ("", "0", "false", "False")
 
 
+#: Default warm-up window of the synthetic-traffic measurements.  The
+#: point functions in the fig* modules reference these constants for
+#: their keyword defaults, so retuning them here retunes every path.
+DEFAULT_WARMUP_CYCLES = 300
+#: Default measurement window of the synthetic-traffic measurements.
+DEFAULT_MEASURE_CYCLES = 1000
+#: Default random seed shared by the traffic generators and kernels.
+DEFAULT_SEED = 0
+
+
 @dataclass
 class ExperimentSettings:
     """Scale and simulation-length knobs shared by all experiment drivers."""
 
     full_scale: bool = field(default_factory=_full_scale_from_environment)
     #: Warm-up cycles of the synthetic-traffic measurements.
-    warmup_cycles: int = 300
+    warmup_cycles: int = DEFAULT_WARMUP_CYCLES
     #: Measurement window of the synthetic-traffic measurements.
-    measure_cycles: int = 1000
+    measure_cycles: int = DEFAULT_MEASURE_CYCLES
     #: Random seed shared by the traffic generators and kernels.
-    seed: int = 0
+    seed: int = DEFAULT_SEED
 
     def config(self, topology: str, **overrides) -> MemPoolConfig:
         """The cluster configuration the experiments run on."""
         if self.full_scale:
             return MemPoolConfig.full(topology, **overrides)
         return MemPoolConfig.scaled(topology, **overrides)
+
+    def as_params(self) -> dict:
+        """Primitive form used as sweep base parameters.
+
+        The returned dictionary contains only JSON-serialisable values, so
+        it can be hashed into cache keys and pickled to worker processes
+        by the :mod:`repro.experiments` engine.
+
+        Examples
+        --------
+        >>> ExperimentSettings(full_scale=False, seed=7).as_params()["seed"]
+        7
+        """
+        return {
+            "full_scale": self.full_scale,
+            "warmup_cycles": self.warmup_cycles,
+            "measure_cycles": self.measure_cycles,
+            "seed": self.seed,
+        }
 
     @property
     def matmul_size(self) -> int:
@@ -55,4 +84,5 @@ class ExperimentSettings:
 
     @property
     def scale_label(self) -> str:
+        """Human-readable label of the selected simulation scale."""
         return "full (256 cores)" if self.full_scale else "scaled (64 cores)"

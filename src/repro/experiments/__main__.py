@@ -1,0 +1,138 @@
+"""Command-line interface of the experiment-orchestration engine.
+
+Usage::
+
+    python -m repro.experiments run                 # every experiment, serial
+    python -m repro.experiments run fig5 fig7 -w 8  # two sweeps on 8 workers
+    python -m repro.experiments run --no-cache      # force recomputation
+    python -m repro.experiments list                # registered experiments
+    python -m repro.experiments clean               # drop the result cache
+
+``run`` executes the selected experiments through the shared
+:class:`~repro.experiments.executor.Executor` — all points of all selected
+sweeps go through one process pool — and prints each figure's textual
+report plus a cache/timing summary.  Results are cached on disk (see
+:mod:`repro.experiments.cache`), so a warm re-run is near-instant; cache
+keys cover the simulation source code, so edits invalidate entries
+automatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.evaluation.settings import ExperimentSettings
+from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.executor import Executor
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    resolve_selection,
+    run_experiments,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper's experiments through the sweep engine.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run one or more experiments")
+    run.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"names to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    run.add_argument(
+        "-w",
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial, 0 = all CPUs)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"cache directory (default: {default_cache_dir()})",
+    )
+    run.add_argument(
+        "--full",
+        action="store_true",
+        help="use the full 256-core cluster (like MEMPOOL_FULL=1)",
+    )
+
+    commands.add_parser("list", help="list the registered experiments")
+
+    clean = commands.add_parser("clean", help="delete every cached result")
+    clean.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"cache directory (default: {default_cache_dir()})",
+    )
+    return parser
+
+
+def _command_list() -> int:
+    for name, definition in EXPERIMENTS.items():
+        settings = ExperimentSettings()
+        size = definition.build_sweep(settings).size
+        plural = "point" if size == 1 else "points"
+        print(f"{name:<10} {size:>3} {plural}  {definition.title}")
+    return 0
+
+
+def _command_clean(cache_dir: str | None) -> int:
+    cache = ResultCache(cache_dir or default_cache_dir())
+    removed = cache.clear()
+    print(f"removed {removed} cached result{'s' if removed != 1 else ''} "
+          f"from {cache.root}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    selected, error = resolve_selection(args.experiments)
+    if error:
+        print(error)
+        return 1
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    executor = Executor(workers=args.workers, cache=cache)
+    # --full forces the paper scale; otherwise MEMPOOL_FULL still decides.
+    settings = ExperimentSettings(full_scale=True) if args.full else ExperimentSettings()
+    print(f"MemPool reproduction — experiment scale: {settings.scale_label}\n")
+    for name, result, _elapsed in run_experiments(selected, settings, executor):
+        print(f"=== {name} ({executor.last_report.summary()}) ===")
+        print(result.report())
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code.
+
+    Examples
+    --------
+    >>> main(["list"])  # doctest: +ELLIPSIS
+    fig5...
+    0
+    """
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "clean":
+        return _command_clean(args.cache_dir)
+    return _command_run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

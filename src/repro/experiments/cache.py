@@ -1,0 +1,141 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Results are stored as pickle files named after the spec's cache key (a
+SHA-256 digest over the runner, its parameters, and the source of the
+runner's whole package — see :mod:`repro.experiments.spec`).  Because the
+key covers the program source, a cache entry can never serve stale results
+for edited simulation code: the edit changes the key, the lookup misses,
+and the point is recomputed.
+
+Writes are atomic (temporary file + :func:`os.replace`), so a crashed or
+killed run never leaves a truncated entry behind; unreadable entries are
+treated as misses and deleted.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Sentinel returned by :meth:`ResultCache.get` on a miss (``None`` is a
+#: legitimate cached value, so a dedicated object is needed).
+MISS = object()
+
+
+def default_cache_dir() -> Path:
+    """The cache directory used when none is given explicitly.
+
+    Honours ``REPRO_CACHE_DIR`` when set; otherwise falls back to
+    ``~/.cache/repro/experiments`` (XDG-style).
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "experiments"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_line(self) -> str:
+        """One-line summary, e.g. ``"cache: 3 hits, 1 miss"``."""
+        noun = "miss" if self.misses == 1 else "misses"
+        return f"cache: {self.hits} hits, {self.misses} {noun}"
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed pickle store for experiment results.
+
+    Parameters
+    ----------
+    root : Path or str, optional
+        Directory holding the cache; created lazily on first store.
+        Defaults to :func:`default_cache_dir`.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> cache = ResultCache(tempfile.mkdtemp())
+    >>> cache.get("0" * 64) is MISS
+    True
+    >>> cache.put("0" * 64, {"cycles": 1234})
+    >>> cache.get("0" * 64)
+    {'cycles': 1234}
+    >>> len(cache)
+    1
+    """
+
+    root: Path = field(default_factory=default_cache_dir)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        """Return the cached value for ``key``, or :data:`MISS`.
+
+        Corrupt or truncated entries (e.g. from a killed writer on a
+        filesystem without atomic rename) are removed and reported as
+        misses rather than raised.
+        """
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return MISS
+        except (pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return MISS
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_suffix(f".tmp.{os.getpid()}")
+        with temporary.open("wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temporary, path)
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every cache entry; return the number removed.
+
+        Also sweeps up orphaned temporary files a crashed writer may have
+        left behind (they do not count towards the returned number).
+        """
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in sorted(self.root.glob("*/*.pkl")):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        for orphan in self.root.glob("*/*.tmp.*"):
+            orphan.unlink(missing_ok=True)
+        return removed
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def __contains__(self, key: str) -> bool:
+        """Whether ``key`` has an entry on disk (does not touch stats)."""
+        return self._path(key).exists()

@@ -1,0 +1,30 @@
+"""Tiny arithmetic point functions for doctests, tests and first contact.
+
+Real experiments register point functions the same way (module-level,
+keyword-only, picklable arguments); these exist so the engine can be
+demonstrated without running a simulation.
+"""
+
+from __future__ import annotations
+
+
+def multiply(*, a: float, b: float = 1.0) -> float:
+    """Return ``a * b``.
+
+    Examples
+    --------
+    >>> multiply(a=6, b=7)
+    42
+    """
+    return a * b
+
+
+def power(*, base: float, exponent: int = 2) -> float:
+    """Return ``base ** exponent``.
+
+    Examples
+    --------
+    >>> power(base=3)
+    9
+    """
+    return base**exponent

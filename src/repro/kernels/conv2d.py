@@ -91,6 +91,7 @@ class Conv2dKernel(Kernel):
     # ------------------------------------------------------------------ #
 
     def core_program(self, core_id: int):
+        """Yield the operations core ``core_id`` executes (rows of the image)."""
         config = self.config
         tile = config.tile_of_core(core_id)
         local_core = config.local_core_index(core_id)
@@ -137,6 +138,7 @@ class Conv2dKernel(Kernel):
     # ------------------------------------------------------------------ #
 
     def reference(self) -> np.ndarray:
+        """Numpy reference of the convolved image."""
         output = self.image.copy()
         for row in range(1, self.height - 1):
             for col in range(1, self.width - 1):
@@ -145,6 +147,7 @@ class Conv2dKernel(Kernel):
         return output
 
     def result(self) -> np.ndarray:
+        """The convolved image read back from the cluster memory."""
         rows = []
         for tile in range(self.config.num_tiles):
             rows.append(

@@ -128,6 +128,7 @@ class DctKernel(Kernel):
         return range(start, start + self.blocks_per_core)
 
     def core_program(self, core_id: int):
+        """Yield the operations core ``core_id`` executes (its 8x8 blocks)."""
         memory = self.memory
         yield Compute(6)  # prologue: pointers, loop bounds
         for block_index in self._core_blocks(core_id):
@@ -179,9 +180,11 @@ class DctKernel(Kernel):
     # ------------------------------------------------------------------ #
 
     def reference(self) -> np.ndarray:
+        """Numpy reference of the transformed blocks."""
         return np.stack([dct_2d(block) for block in self.blocks])
 
     def result(self) -> np.ndarray:
+        """The transformed blocks read back from the cluster memory."""
         outputs = []
         for block_index in range(len(self.blocks)):
             outputs.append(

@@ -84,6 +84,7 @@ class MatmulKernel(Kernel):
     # ------------------------------------------------------------------ #
 
     def core_program(self, core_id: int):
+        """Yield the operations core ``core_id`` executes (its rows of C)."""
         start, end = self._block_split[core_id]
         memory = self.memory
         size = self.size
@@ -140,8 +141,10 @@ class MatmulKernel(Kernel):
     # ------------------------------------------------------------------ #
 
     def reference(self) -> np.ndarray:
+        """Numpy reference of the matrix product."""
         product = (self.a @ self.b) & 0xFFFF_FFFF
         return ((product + 2**31) % 2**32 - 2**31).astype(np.int64)
 
     def result(self) -> np.ndarray:
+        """The product matrix read back from the cluster memory."""
         return self.memory.read_matrix(self._c_region.base, self.size, self.size)

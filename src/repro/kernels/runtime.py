@@ -72,6 +72,7 @@ class KernelResult:
 
     @property
     def instructions(self) -> int:
+        """Total instructions executed across all cores."""
         return self.system.instructions
 
     @property

@@ -58,6 +58,7 @@ class AxpyKernel(Kernel):
         return self._y_region.base + index * WORD_BYTES
 
     def core_program(self, core_id: int):
+        """Yield the operations core ``core_id`` executes (its slice of y)."""
         start, end = self._split[core_id]
         memory = self.memory
         yield Compute(3)  # prologue: pointers, scalar
@@ -77,9 +78,11 @@ class AxpyKernel(Kernel):
                 yield Store(self._addr_y(index))
 
     def reference(self) -> np.ndarray:
+        """Numpy reference of ``a*x + y``."""
         return self.scalar * self.x + self.y
 
     def result(self) -> np.ndarray:
+        """The output vector read back from the cluster memory."""
         return self.memory.read_words(self._y_region.base, self.length)
 
 
@@ -113,6 +116,7 @@ class DotProductKernel(Kernel):
         return region.base + index * WORD_BYTES
 
     def core_program(self, core_id: int):
+        """Yield the operations core ``core_id`` executes (partial dot products)."""
         start, end = self._split[core_id]
         memory = self.memory
         yield Compute(3)
@@ -149,7 +153,9 @@ class DotProductKernel(Kernel):
             yield Store(self._result_region.base)
 
     def reference(self) -> np.ndarray:
+        """Numpy reference of the dot product."""
         return np.array([int(np.dot(self.a, self.b))], dtype=np.int64)
 
     def result(self) -> np.ndarray:
+        """The reduced dot product read back from the cluster memory."""
         return self.memory.read_words(self._result_region.base, 1)

@@ -33,6 +33,7 @@ class UniformRandomPattern(TrafficPattern):
     """Uniformly random destination over every bank of the cluster (Figure 5)."""
 
     def destination(self, core_id: int) -> int:
+        """A uniformly random destination bank for ``core_id``."""
         return self.rng.randrange(self.config.num_banks)
 
 
@@ -51,6 +52,7 @@ class LocalBiasedPattern(TrafficPattern):
         self.p_local = p_local
 
     def destination(self, core_id: int) -> int:
+        """A bank in the core's own tile with probability ``p_local``, else uniform."""
         config = self.config
         if self.rng.random() < self.p_local:
             tile = config.tile_of_core(core_id)

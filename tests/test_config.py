@@ -177,3 +177,33 @@ class TestCopies:
         with pytest.raises(Exception):
             config.num_tiles = 8  # type: ignore[misc]
         assert hash(config) == hash(MemPoolConfig.tiny())
+
+
+class TestSerialisationAndHashing:
+    def test_to_dict_round_trips(self):
+        config = MemPoolConfig.scaled("top4", scrambling_enabled=False)
+        clone = MemPoolConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.timing == config.timing
+
+    def test_to_dict_is_json_serialisable(self):
+        import json
+
+        json.dumps(MemPoolConfig.tiny().to_dict())
+
+    def test_stable_hash_is_deterministic_and_content_addressed(self):
+        assert MemPoolConfig.tiny("top1").stable_hash() == MemPoolConfig.tiny(
+            "top1"
+        ).stable_hash()
+        assert (
+            MemPoolConfig.tiny("top1").stable_hash()
+            != MemPoolConfig.tiny("toph").stable_hash()
+        )
+        assert len(MemPoolConfig.tiny().stable_hash()) == 64
+
+    def test_stable_hash_sees_timing_changes(self):
+        from repro.core.config import TimingParameters
+
+        base = MemPoolConfig.tiny()
+        tweaked = MemPoolConfig.tiny(timing=TimingParameters(max_outstanding_loads=2))
+        assert base.stable_hash() != tweaked.stable_hash()

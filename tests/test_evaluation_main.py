@@ -8,6 +8,18 @@ class _FakeResult:
         return "fake report"
 
 
+class _FakeDefinition:
+    """Stands in for an ExperimentDefinition; records the run calls."""
+
+    def __init__(self, calls, name="fake"):
+        self.calls = calls
+        self.name = name
+
+    def run(self, settings, executor):
+        self.calls.append((self.name, settings, executor))
+        return _FakeResult()
+
+
 def test_unknown_experiment_is_rejected(capsys):
     exit_code = evaluation_main.main(["does-not-exist"])
     assert exit_code == 1
@@ -16,12 +28,9 @@ def test_unknown_experiment_is_rejected(capsys):
 
 def test_selected_experiments_run_and_print(monkeypatch, capsys):
     calls = []
-
-    def fake_driver(settings):
-        calls.append(settings)
-        return _FakeResult()
-
-    monkeypatch.setitem(evaluation_main.EXPERIMENTS, "fig10", fake_driver)
+    monkeypatch.setitem(
+        evaluation_main.EXPERIMENTS, "fig10", _FakeDefinition(calls, "fig10")
+    )
     exit_code = evaluation_main.main(["fig10"])
     output = capsys.readouterr().out
     assert exit_code == 0
@@ -31,18 +40,39 @@ def test_selected_experiments_run_and_print(monkeypatch, capsys):
 
 
 def test_default_selection_includes_every_experiment(monkeypatch, capsys):
-    invoked = []
-
-    def make_fake(name):
-        def fake_driver(settings):
-            invoked.append(name)
-            return _FakeResult()
-
-        return fake_driver
-
+    calls = []
     for name in list(evaluation_main.EXPERIMENTS):
-        monkeypatch.setitem(evaluation_main.EXPERIMENTS, name, make_fake(name))
+        monkeypatch.setitem(
+            evaluation_main.EXPERIMENTS, name, _FakeDefinition(calls, name)
+        )
     exit_code = evaluation_main.main([])
     assert exit_code == 0
-    assert set(invoked) == set(evaluation_main.EXPERIMENTS)
+    assert {name for name, _, _ in calls} == set(evaluation_main.EXPERIMENTS)
     assert "experiment scale" in capsys.readouterr().out
+
+
+def test_workers_flag_configures_the_executor(monkeypatch, capsys):
+    calls = []
+    monkeypatch.setitem(
+        evaluation_main.EXPERIMENTS, "fig10", _FakeDefinition(calls, "fig10")
+    )
+    exit_code = evaluation_main.main(["--workers", "3", "fig10"])
+    assert exit_code == 0
+    _, _, executor = calls[0]
+    assert executor.workers == 3
+    assert executor.cache is None  # uncached unless --cache is passed
+    capsys.readouterr()
+
+
+def test_cache_flag_attaches_a_result_cache(monkeypatch, capsys, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    calls = []
+    monkeypatch.setitem(
+        evaluation_main.EXPERIMENTS, "fig10", _FakeDefinition(calls, "fig10")
+    )
+    exit_code = evaluation_main.main(["--cache", "fig10"])
+    assert exit_code == 0
+    _, _, executor = calls[0]
+    assert executor.cache is not None
+    assert executor.cache.root == tmp_path
+    capsys.readouterr()

@@ -1,0 +1,340 @@
+"""Tests of the repro.experiments sweep engine (specs, grids, cache, executor)."""
+
+import pickle
+
+import pytest
+
+from repro.core.config import MemPoolConfig
+from repro.experiments import (
+    MISS,
+    Executor,
+    ExperimentSpec,
+    ResultCache,
+    Sweep,
+    canonical_json,
+    program_fingerprint,
+    resolve_runner,
+    run_sweep,
+)
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestSpec:
+    def test_resolve_runner_imports_the_function(self):
+        assert resolve_runner("math:gcd")(12, 8) == 4
+
+    def test_resolve_runner_rejects_bad_paths(self):
+        with pytest.raises(ValueError):
+            resolve_runner("math.gcd")  # no colon
+        with pytest.raises(ValueError):
+            resolve_runner("math:does_not_exist")
+        with pytest.raises(ValueError):
+            resolve_runner("math:pi")  # not callable
+
+    def test_execute_calls_the_runner_with_params(self):
+        spec = ExperimentSpec("repro.experiments.demo:multiply", {"a": 6, "b": 7})
+        assert spec.execute() == 42
+
+    def test_key_is_stable_and_param_order_independent(self):
+        a = ExperimentSpec("repro.experiments.demo:multiply", {"a": 1, "b": 2})
+        b = ExperimentSpec("repro.experiments.demo:multiply", {"b": 2, "a": 1})
+        assert a.key == b.key
+        assert len(a.key) == 64
+
+    def test_key_distinguishes_params_and_runners(self):
+        base = ExperimentSpec("repro.experiments.demo:multiply", {"a": 1, "b": 2})
+        assert base.key != ExperimentSpec(
+            "repro.experiments.demo:multiply", {"a": 1, "b": 3}).key
+        assert base.key != ExperimentSpec(
+            "repro.experiments.demo:power", {"a": 1, "b": 2}).key
+
+    def test_key_covers_the_program_source(self):
+        # Different programs -> different fingerprints feed the key.
+        assert program_fingerprint("math:gcd") != program_fingerprint(
+            "repro.evaluation.fig5:simulate_fig5_point"
+        )
+
+    def test_fingerprint_covers_the_whole_package(self):
+        # A point's result depends on the full simulator stack, so every
+        # repro runner shares one fingerprint over the whole package tree
+        # — an edit anywhere in repro/ invalidates all cached results.
+        assert program_fingerprint(
+            "repro.evaluation.fig5:simulate_fig5_point"
+        ) == program_fingerprint("repro.evaluation.fig7:simulate_fig7_point")
+
+    def test_config_objects_canonicalise_via_to_dict(self):
+        tiny = MemPoolConfig.tiny()
+        assert canonical_json({"config": tiny}) == canonical_json(
+            {"config": tiny.to_dict()}
+        )
+
+    def test_unhashable_param_values_are_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_json({"bad": object()})
+
+    def test_specs_are_picklable(self):
+        spec = ExperimentSpec(
+            "repro.experiments.demo:multiply", {"a": 6, "b": 7}, name="demo")
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.execute() == 42
+
+    def test_label_names_the_sweep_and_params(self):
+        spec = ExperimentSpec(
+            "repro.experiments.demo:multiply", {"a": 12}, name="demo")
+        assert spec.label == "demo[a=12]"
+
+
+class TestSweep:
+    def test_grid_expansion_order_first_key_outermost(self):
+        sweep = Sweep("repro.experiments.demo:multiply", grid={"a": (4, 6), "b": (2, 3)})
+        params = [spec.params for spec in sweep.specs()]
+        assert params == [
+            {"a": 4, "b": 2},
+            {"a": 4, "b": 3},
+            {"a": 6, "b": 2},
+            {"a": 6, "b": 3},
+        ]
+
+    def test_base_params_are_shared_and_overridden_by_grid(self):
+        sweep = Sweep("repro.experiments.demo:multiply", grid={"a": (4,)}, base={"a": 1, "b": 6})
+        (spec,) = sweep.specs()
+        assert spec.params == {"a": 4, "b": 6}
+
+    def test_empty_grid_yields_a_single_point(self):
+        sweep = Sweep("repro.experiments.demo:multiply", base={"a": 12, "b": 8})
+        assert sweep.size == 1
+        assert len(sweep.specs()) == 1
+
+    def test_len_and_iter(self):
+        sweep = Sweep(
+            "repro.experiments.demo:multiply", grid={"a": (1, 2, 3)}, base={"b": 2})
+        assert len(sweep) == 3
+        assert [spec.params["a"] for spec in sweep] == [1, 2, 3]
+
+
+class TestResultCache:
+    KEY = "ab" + "0" * 62
+
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(self.KEY) is MISS
+        cache.put(self.KEY, {"cycles": 99})
+        assert cache.get(self.KEY) == {"cycles": 99}
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_none_is_a_cacheable_value(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(self.KEY, None)
+        assert cache.get(self.KEY) is None
+
+    def test_corrupt_entries_read_as_misses_and_are_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(self.KEY, [1, 2, 3])
+        path = cache._path(self.KEY)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(self.KEY) is MISS
+        assert not path.exists()
+
+    def test_clear_and_len(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for index in range(3):
+            cache.put(f"{index:02d}" + "0" * 62, index)
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_clear_sweeps_orphaned_temporary_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(self.KEY, 1)
+        orphan = cache._path(self.KEY).with_suffix(".tmp.12345")
+        orphan.write_bytes(b"partial write")
+        assert cache.clear() == 1
+        assert not orphan.exists()
+
+    def test_contains(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert self.KEY not in cache
+        cache.put(self.KEY, 1)
+        assert self.KEY in cache
+
+    def test_env_override_of_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert ResultCache().root == tmp_path
+
+
+class TestExecutor:
+    def sweep(self):
+        return Sweep(
+            "repro.experiments.demo:multiply", grid={"a": (4, 6, 9)}, base={"b": 6})
+
+    def test_serial_execution_preserves_order(self):
+        assert Executor(workers=1).run(self.sweep()) == [24, 36, 54]
+
+    def test_parallel_matches_serial(self):
+        serial = Executor(workers=1).run(self.sweep())
+        parallel = Executor(workers=2).run(self.sweep())
+        assert serial == parallel
+
+    def test_zero_workers_selects_cpu_count(self):
+        assert Executor(workers=0).workers >= 1
+
+    def test_cache_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = Executor(workers=1, cache=cache)
+        first = executor.run(self.sweep())
+        assert executor.last_report.computed == 3
+        second = executor.run(self.sweep())
+        assert second == first
+        assert executor.last_report.cache_hits == 3
+        assert executor.last_report.computed == 0
+
+    def test_progress_callback_reports_computed_points_only(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = Executor(workers=1, cache=cache)
+        executor.run(self.sweep())
+        seen = []
+        executor.run(self.sweep(), progress=lambda spec, value: seen.append(value))
+        assert seen == []  # everything was a cache hit
+
+    def test_run_sweep_convenience(self):
+        assert run_sweep(self.sweep()) == [24, 36, 54]
+
+    def test_report_summary_mentions_counts(self):
+        executor = Executor(workers=1)
+        executor.run(self.sweep())
+        summary = executor.last_report.summary()
+        assert "3 points" in summary and "3 computed" in summary
+
+
+class TestTrafficSweepsThroughEngine:
+    """Serial/parallel/cached runs of real simulation points agree."""
+
+    def test_fig5_parallel_equals_serial(self):
+        from repro.evaluation import ExperimentSettings
+        from repro.evaluation.fig5 import run_fig5
+
+        settings = ExperimentSettings(warmup_cycles=50, measure_cycles=100)
+        serial = run_fig5(settings, loads=(0.05, 0.2), topologies=("toph",))
+        parallel = run_fig5(
+            settings,
+            loads=(0.05, 0.2),
+            topologies=("toph",),
+            executor=Executor(workers=2),
+        )
+        assert serial.throughput("toph") == parallel.throughput("toph")
+        assert serial.latency("toph") == parallel.latency("toph")
+
+    def test_fig7_cached_rerun_is_identical(self, tmp_path):
+        from repro.evaluation import ExperimentSettings
+        from repro.evaluation.fig7 import run_fig7
+
+        settings = ExperimentSettings()
+        executor = Executor(workers=1, cache=ResultCache(tmp_path))
+        first = run_fig7(settings, kernels=("dct",), topologies=("toph", "topx"),
+                         executor=executor)
+        assert executor.last_report.computed == 4
+        second = run_fig7(settings, kernels=("dct",), topologies=("toph", "topx"),
+                          executor=executor)
+        assert executor.last_report.cache_hits == 4
+        assert first.cycles == second.cycles
+        assert first.report() == second.report()
+
+
+class TestFig7SeedRegression:
+    """The engine-driven fig7 reproduces the seed's hand-rolled loop exactly."""
+
+    KERNELS = ("dct", "2dconv")
+    TOPOLOGIES = ("top1", "toph", "topx")
+
+    def seed_style_fig7(self, settings):
+        """The pre-refactor nested loop, verbatim from the seed."""
+        from repro.core.cluster import MemPoolCluster
+        from repro.evaluation.fig7 import Fig7Result, _build_kernel
+
+        outcome = Fig7Result()
+        for kernel_name in self.KERNELS:
+            for topology in self.TOPOLOGIES:
+                for scrambling in (False, True):
+                    config = settings.config(topology, scrambling_enabled=scrambling)
+                    cluster = MemPoolCluster(config)
+                    kernel = _build_kernel(kernel_name, cluster, settings)
+                    result = kernel.run(verify=True)
+                    key = (kernel_name, topology, scrambling)
+                    outcome.cycles[key] = result.cycles
+                    outcome.results[key] = result
+        return outcome
+
+    def test_cycles_and_report_are_byte_identical(self):
+        from repro.evaluation import ExperimentSettings
+        from repro.evaluation.fig7 import run_fig7
+
+        settings = ExperimentSettings()
+        seed_result = self.seed_style_fig7(settings)
+        engine_result = run_fig7(
+            settings, kernels=self.KERNELS, topologies=self.TOPOLOGIES
+        )
+        assert engine_result.cycles == seed_result.cycles
+        assert engine_result.report() == seed_result.report()
+        assert engine_result.all_correct()
+
+
+class TestRegistry:
+    def test_every_experiment_is_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig5", "fig6", "fig7", "fig10", "power", "physical",
+        }
+
+    def test_definitions_build_consistent_sweeps(self):
+        from repro.evaluation import ExperimentSettings
+
+        settings = ExperimentSettings()
+        for name, definition in EXPERIMENTS.items():
+            sweep = definition.build_sweep(settings)
+            assert sweep.name == name
+            assert sweep.size >= 1
+
+    def test_single_point_experiment_runs_through_the_registry(self):
+        from repro.evaluation import ExperimentSettings
+
+        result = EXPERIMENTS["fig10"].run(ExperimentSettings(), Executor())
+        assert "Figure 10" in result.report()
+
+
+class TestExperimentsCli:
+    def test_list_command(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["run", "nope"]) == 1
+        assert "unknown experiments" in capsys.readouterr().out
+
+    def test_run_and_clean_share_the_cache_dir(self, capsys, tmp_path):
+        from repro.experiments.__main__ import main
+
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "fig10", "--cache-dir", cache_dir]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 10" in output and "1 computed" in output
+
+        # A warm re-run is served from the cache.
+        assert main(["run", "fig10", "--cache-dir", cache_dir]) == 0
+        assert "1 cached" in capsys.readouterr().out
+
+        assert main(["clean", "--cache-dir", cache_dir]) == 0
+        assert "removed 1 cached result" in capsys.readouterr().out
+
+    def test_run_no_cache_skips_the_cache(self, capsys, tmp_path, monkeypatch):
+        from repro.experiments.__main__ import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["run", "fig10", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert len(ResultCache(tmp_path)) == 0

@@ -5,7 +5,12 @@ import pytest
 from repro.core.agents import Barrier, Compute, IdleAgent, Load, TraceAgent, Use
 from repro.core.cluster import MemPoolCluster
 from repro.core.config import MemPoolConfig
-from repro.core.system import GlobalBarrier, MemPoolSystem, run_program
+from repro.core.system import (
+    BarrierMismatchError,
+    GlobalBarrier,
+    MemPoolSystem,
+    run_program,
+)
 
 
 class TestGlobalBarrier:
@@ -30,6 +35,26 @@ class TestGlobalBarrier:
             barrier.arrive(1)
             assert barrier.try_release()
         assert barrier.episodes == 3
+
+    def test_matching_barrier_ids_release(self):
+        barrier = GlobalBarrier({0, 1})
+        barrier.arrive(0, barrier_id=7)
+        barrier.arrive(1, barrier_id=7)
+        assert barrier.try_release()
+        assert barrier.episodes == 1
+
+    def test_mismatched_barrier_ids_raise(self):
+        barrier = GlobalBarrier({0, 1})
+        barrier.arrive(0, barrier_id=1)
+        barrier.arrive(1, barrier_id=2)
+        with pytest.raises(BarrierMismatchError):
+            barrier.try_release()
+
+    def test_waiting_counts_arrived_cores(self):
+        barrier = GlobalBarrier({0, 1, 2})
+        barrier.arrive(0)
+        barrier.arrive(1)
+        assert barrier.waiting == 2
 
 
 class TestSystemRun:
