@@ -2,6 +2,7 @@
 #
 #   make test       unit/integration tests (tier-1 verify)
 #   make bench      benchmark harness (regenerates every figure/table)
+#   make bench-engine  legacy-vs-vector engine benchmark + regression report
 #   make docs-lint  docstring lint over the public API
 #   make figures    regenerate all paper figures through the sweep engine
 #   make clean-cache  drop the on-disk experiment result cache
@@ -10,26 +11,35 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 WORKERS ?= 1
 
-.PHONY: test bench docs-lint figures clean-cache
+.PHONY: test bench bench-engine docs-lint figures clean-cache
 
+# The trailing bench report is informational in the test flow (the `-`
+# prefix keeps a perf regression from failing the tier-1 gate); the
+# enforcing run is `make bench-engine`.
 test:
 	$(PYTHON) -m pytest -x -q tests
+	-@$(PYTHON) tools/bench_report.py
 
 bench:
 	$(PYTHON) -m pytest -q benchmarks
+
+bench-engine:
+	$(PYTHON) -m pytest -q benchmarks/test_perf_engine.py
+	$(PYTHON) tools/bench_report.py
 
 # Prefer ruff's pydocstyle (D) rules or pydocstyle itself when available;
 # fall back to the bundled AST checker (same missing-docstring subset) on
 # offline machines that have neither.
 docs-lint:
 	@if $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
-		$(PYTHON) -m ruff check --select D1 src/repro/experiments src/repro/evaluation; \
+		$(PYTHON) -m ruff check --select D1 src/repro/experiments src/repro/evaluation \
+			src/repro/engine; \
 	elif $(PYTHON) -c "import pydocstyle" >/dev/null 2>&1; then \
 		$(PYTHON) -m pydocstyle --select D100,D101,D102,D103,D104 \
-			src/repro/experiments src/repro/evaluation; \
+			src/repro/experiments src/repro/evaluation src/repro/engine; \
 	else \
 		$(PYTHON) tools/docs_lint.py src/repro/experiments src/repro/evaluation \
-			src/repro/traffic src/repro/kernels; \
+			src/repro/traffic src/repro/kernels src/repro/engine; \
 	fi
 
 figures:

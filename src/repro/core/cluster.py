@@ -37,17 +37,42 @@ class Tile:
         return len(self.bank_ids)
 
 
-class MemPoolCluster:
-    """A configured MemPool cluster instance."""
+#: Timing-engine implementations selectable per cluster: the per-object
+#: ``StageNetwork`` ("legacy") or the structure-of-arrays vector engine
+#: of :mod:`repro.engine` ("vector").  Both are cycle-exact for fixed
+#: seeds.  This tuple is the single source of truth — the engine package
+#: and :class:`repro.evaluation.settings.ExperimentSettings` re-use it.
+ENGINES = ("legacy", "vector")
 
-    def __init__(self, config: MemPoolConfig | None = None) -> None:
+
+class MemPoolCluster:
+    """A configured MemPool cluster instance.
+
+    Parameters
+    ----------
+    config : MemPoolConfig, optional
+        Cluster configuration; the paper's full system by default.
+    engine : str
+        Timing-engine implementation, one of :data:`ENGINES`.  ``"vector"``
+        runs the cycle-level transport on the structure-of-arrays engine of
+        :mod:`repro.engine` (same completion cycles, several times faster);
+        ``"legacy"`` keeps the original per-object stage network.
+    """
+
+    def __init__(
+        self, config: MemPoolConfig | None = None, engine: str = "legacy"
+    ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.config = config or MemPoolConfig()
+        self.engine_kind = engine
         self.address_map: AddressMap = make_address_map(self.config)
         self.topology: ClusterTopology = build_topology(self.config)
         self.memory = SharedL1Memory(self.config)
         self.layout = MemoryLayout(self.config)
         self.tiles = self._build_tiles()
         self._next_flit_id = 0
+        self._vector_network = None
 
     # ------------------------------------------------------------------ #
     # Structure
@@ -71,7 +96,21 @@ class MemPoolCluster:
 
     @property
     def network(self):
-        """The cycle engine of the selected topology."""
+        """The cycle engine flits travel through.
+
+        For ``engine="legacy"`` this is the topology's per-object
+        :class:`~repro.interconnect.resources.StageNetwork`; for
+        ``engine="vector"`` it is a
+        :class:`~repro.engine.vector.VectorStageNetwork` facade over the
+        structure-of-arrays engine, built lazily on first access.  Both
+        expose the same ``advance`` / ``try_inject`` / ``drain`` interface.
+        """
+        if self.engine_kind == "vector":
+            if self._vector_network is None:
+                from repro.engine import VectorStageNetwork
+
+                self._vector_network = VectorStageNetwork(self.topology)
+            return self._vector_network
         return self.topology.network
 
     def tile_of_core(self, core_id: int) -> Tile:
@@ -107,8 +146,19 @@ class MemPoolCluster:
         cycle: int,
         tag: object = None,
     ) -> Flit:
-        """Build the flit for a memory access targeting a specific bank."""
-        path = self.topology.build_path(core_id, bank_id, needs_response=not is_write)
+        """Build the flit for a memory access targeting a specific bank.
+
+        On a vector-engine cluster the resource path is left empty: the
+        engine routes by its compiled path tables, so materialising the
+        per-flit resource list would be pure overhead on the hot path
+        (``Flit.position`` bookkeeping comes from the same tables).
+        """
+        if self.engine_kind == "legacy":
+            path: list | tuple = self.topology.build_path(
+                core_id, bank_id, needs_response=not is_write
+            )
+        else:
+            path = ()
         return Flit(
             flit_id=self._allocate_flit_id(),
             core_id=core_id,

@@ -81,7 +81,17 @@ class GlobalBarrier:
 
 @dataclass
 class SystemResult:
-    """Outcome of one execution-driven simulation."""
+    """Outcome of one execution-driven simulation.
+
+    Raises
+    ------
+    ValueError
+        At construction, when the result is degenerate: a negative cycle
+        count, or retired instructions / injected requests reported over a
+        zero-cycle run.  Such results would make :attr:`ipc` a division by
+        zero (or a silent lie) deep inside the energy and figure reports,
+        so they are rejected where they are produced.
+    """
 
     cycles: int
     core_stats: list[CoreStats]
@@ -96,6 +106,16 @@ class SystemResult:
             for stats in self.core_stats:
                 total.merge(stats)
             self.total = total
+        if self.cycles < 0:
+            raise ValueError(f"cycle count must be non-negative, got {self.cycles}")
+        if self.cycles == 0 and (
+            self.total.instructions or self.injected_requests or self.completed_requests
+        ):
+            raise ValueError(
+                "inconsistent SystemResult: "
+                f"{self.total.instructions} instructions and "
+                f"{self.injected_requests} requests reported over zero cycles"
+            )
 
     @property
     def active_cores(self) -> int:
@@ -108,8 +128,21 @@ class SystemResult:
 
     @property
     def ipc(self) -> float:
-        """Cluster-wide instructions per cycle."""
-        return self.instructions / self.cycles if self.cycles else 0.0
+        """Cluster-wide instructions per cycle.
+
+        Raises
+        ------
+        ValueError
+            For a zero-cycle simulation (nothing ran, so no core retired an
+            instruction): IPC is undefined there, and raising beats the old
+            behaviour of silently reporting ``0.0``.
+        """
+        if self.cycles == 0:
+            raise ValueError(
+                "IPC is undefined: no core retired an instruction over a "
+                "zero-cycle simulation"
+            )
+        return self.instructions / self.cycles
 
 
 class MemPoolSystem:

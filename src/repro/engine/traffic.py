@@ -1,0 +1,127 @@
+"""Open-loop traffic measurement running natively on the vector engine.
+
+This is the fast path behind :meth:`repro.traffic.simulation.TrafficSimulation.run`
+when the cluster was built with ``engine="vector"``: the same warm-up /
+measure loop, the same random streams (Poisson arrivals, destination
+pattern, injection permutation — drawn in exactly the legacy order, so
+results are flit-for-flit identical), but no :class:`Flit` objects anywhere.
+Requests are rows of the engine's :class:`~repro.engine.soa.FlitTable` from
+generation to completion, and each cycle's transport is the engine's
+level-ordered array passes.
+"""
+
+from __future__ import annotations
+
+from repro.utils.stats import Histogram, OnlineStats
+
+
+def run_vector_traffic(
+    simulation,
+    warmup_cycles: int,
+    measure_cycles: int,
+    record_flits: bool = False,
+):
+    """Run one open-loop traffic measurement on the vector engine.
+
+    Parameters
+    ----------
+    simulation : repro.traffic.simulation.TrafficSimulation
+        The configured simulation; its cluster must have been built with
+        ``engine="vector"``.  The driver reuses the simulation's injector,
+        pattern and injection schedule so random draws match the legacy
+        loop call for call.
+    warmup_cycles, measure_cycles : int
+        Warm-up and measurement windows.
+    record_flits : bool
+        Attach the per-flit completion log to the result (used by the
+        engine-equivalence tests).
+
+    Returns
+    -------
+    repro.traffic.simulation.TrafficResult
+        Identical, field for field, to what the legacy object loop returns
+        for the same seeds.
+    """
+    from repro.traffic.simulation import TrafficResult
+
+    cluster = simulation.cluster
+    config = cluster.config
+    facade = cluster.network
+    engine = facade.engine
+    flits = engine.flits
+    pattern = simulation.pattern
+    injector = simulation.injector
+    injection_schedule = simulation._injection_schedule
+    num_cores = config.num_cores
+
+    core_tile = [config.tile_of_core(core) for core in range(num_cores)]
+    bank_tile = engine.compiled.tile_of_bank
+    new_flit = engine.new_flit
+    # The simulation-owned row queues: persistent across run() calls, like
+    # the legacy loop's Flit queues, so repeated windows stay cycle-exact.
+    queues = simulation._row_queues
+
+    latency = OnlineStats()
+    histogram = Histogram()
+    flit_log: list[tuple[int, int, int, int, int, int]] = []
+    completed_in_window = 0
+    generated_in_window = 0
+    injected_in_window = 0
+    local_requests = 0
+    total_requests = 0
+
+    total_cycles = warmup_cycles + measure_cycles
+    for cycle in range(total_cycles):
+        completions = engine.advance(cycle)
+        measuring = cycle >= warmup_cycles
+        if measuring:
+            completed_in_window += len(completions)
+            created = flits.created
+            for row in completions:
+                value = cycle - created[row]
+                latency.add(value)
+                histogram.add(value)
+        if record_flits:
+            for row in completions:
+                flit_log.append(flits.row_record(row))
+
+        generated = 0
+        for core_id, count in injector.arrivals_batch(cycle):
+            queue = queues[core_id]
+            tile = core_tile[core_id]
+            for _ in range(count):
+                bank_id = pattern.destination(core_id)
+                queue.append(new_flit(core_id, bank_id, False, cycle))
+                if bank_tile[bank_id] == tile:
+                    local_requests += 1
+            generated += count
+        total_requests += generated
+
+        injected = engine.inject_queues(queues, injection_schedule.order(cycle), cycle)
+
+        if measuring:
+            generated_in_window += generated
+            injected_in_window += injected
+
+    # Keep the simulation object's counters consistent with the legacy loop.
+    simulation._local_requests += local_requests
+    simulation._total_requests += total_requests
+    local_fraction = (
+        simulation._local_requests / simulation._total_requests
+        if simulation._total_requests
+        else 0.0
+    )
+    return TrafficResult(
+        topology=config.topology,
+        injected_load=simulation.injection_rate,
+        measured_cycles=measure_cycles,
+        num_cores=num_cores,
+        generated_requests=generated_in_window,
+        injected_requests=injected_in_window,
+        completed_requests=completed_in_window,
+        average_latency=latency.mean,
+        p95_latency=histogram.percentile(0.95),
+        max_latency=int(latency.maximum) if latency.count else 0,
+        local_fraction=local_fraction,
+        flit_log=flit_log if record_flits else None,
+    )

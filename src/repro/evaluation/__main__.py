@@ -56,6 +56,12 @@ def main(argv: list[str] | None = None) -> int:
         "--cache", action="store_true",
         help=f"read/write the on-disk result cache ({default_cache_dir()})",
     )
+    parser.add_argument(
+        "--engine", choices=("legacy", "vector"), default=None,
+        help="timing engine for the simulating experiments (default: "
+             "MEMPOOL_ENGINE or 'legacy'; 'vector' is the faster "
+             "structure-of-arrays engine, results are identical)",
+    )
     args = parser.parse_args(argv)
 
     selected, error = resolve_selection(args.experiments)
@@ -66,7 +72,9 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         cache=ResultCache() if args.cache else None,
     )
-    settings = ExperimentSettings()
+    settings = (
+        ExperimentSettings(engine=args.engine) if args.engine else ExperimentSettings()
+    )
     print(f"MemPool reproduction — experiment scale: {settings.scale_label}\n")
     for name, result, elapsed in run_experiments(selected, settings, executor):
         print(f"=== {name} ({elapsed:.1f} s) ===")

@@ -13,11 +13,16 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from repro.core.cluster import ENGINES
 from repro.core.config import MemPoolConfig
 
 
 def _full_scale_from_environment() -> bool:
     return os.environ.get("MEMPOOL_FULL", "0") not in ("", "0", "false", "False")
+
+
+def _engine_from_environment() -> str:
+    return os.environ.get("MEMPOOL_ENGINE", "legacy") or "legacy"
 
 
 #: Default warm-up window of the synthetic-traffic measurements.  The
@@ -41,6 +46,21 @@ class ExperimentSettings:
     measure_cycles: int = DEFAULT_MEASURE_CYCLES
     #: Random seed shared by the traffic generators and kernels.
     seed: int = DEFAULT_SEED
+    #: Timing-engine implementation the simulating drivers run on:
+    #: ``"legacy"`` (per-object stage network) or ``"vector"`` (the
+    #: structure-of-arrays engine of :mod:`repro.engine`).  Both produce
+    #: identical results for fixed seeds; honours ``MEMPOOL_ENGINE``.
+    engine: str = field(default_factory=_engine_from_environment)
+
+    def __post_init__(self) -> None:
+        # Validate here rather than deep inside a sweep worker: a typo'd
+        # MEMPOOL_ENGINE should fail before any point is expanded, hashed
+        # into a cache key, or shipped to a process pool.
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r} (MEMPOOL_ENGINE/--engine); "
+                f"expected one of {ENGINES}"
+            )
 
     def config(self, topology: str, **overrides) -> MemPoolConfig:
         """The cluster configuration the experiments run on."""
@@ -65,6 +85,7 @@ class ExperimentSettings:
             "warmup_cycles": self.warmup_cycles,
             "measure_cycles": self.measure_cycles,
             "seed": self.seed,
+            "engine": self.engine,
         }
 
     @property

@@ -69,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the full 256-core cluster (like MEMPOOL_FULL=1)",
     )
+    run.add_argument(
+        "--engine",
+        choices=("legacy", "vector"),
+        default=None,
+        help="timing engine for the simulating experiments (default: "
+             "MEMPOOL_ENGINE or 'legacy'; 'vector' is the faster "
+             "structure-of-arrays engine, results are identical)",
+    )
 
     commands.add_parser("list", help="list the registered experiments")
 
@@ -108,7 +116,13 @@ def _command_run(args: argparse.Namespace) -> int:
         cache = ResultCache(args.cache_dir or default_cache_dir())
     executor = Executor(workers=args.workers, cache=cache)
     # --full forces the paper scale; otherwise MEMPOOL_FULL still decides.
-    settings = ExperimentSettings(full_scale=True) if args.full else ExperimentSettings()
+    # --engine likewise overrides MEMPOOL_ENGINE.
+    overrides = {}
+    if args.full:
+        overrides["full_scale"] = True
+    if args.engine:
+        overrides["engine"] = args.engine
+    settings = ExperimentSettings(**overrides)
     print(f"MemPool reproduction — experiment scale: {settings.scale_label}\n")
     for name, result, _elapsed in run_experiments(selected, settings, executor):
         print(f"=== {name} ({executor.last_report.summary()}) ===")

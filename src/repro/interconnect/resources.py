@@ -35,13 +35,19 @@ LEVEL_BANK = 3
 LEVEL_BOUNDARY_RESP = 4
 LEVEL_MASTER_RESP = 5
 
-_ALL_LEVELS = (
+#: Processing order of :meth:`StageNetwork.advance`: most downstream level
+#: first, so a buffer slot freed this cycle can be reused by the flit behind
+#: it.  The vectorized engine (:mod:`repro.engine`) compiles its level-ordered
+#: passes from this same tuple, so the two engines stay cycle-equivalent.
+PIPELINE_LEVELS = (
     LEVEL_MASTER_RESP,
     LEVEL_BOUNDARY_RESP,
     LEVEL_BANK,
     LEVEL_BOUNDARY_REQ,
     LEVEL_MASTER_REQ,
 )
+
+_ALL_LEVELS = PIPELINE_LEVELS
 
 
 class Resource:
@@ -221,6 +227,23 @@ class StageNetwork:
     @property
     def arbiters(self) -> tuple[ArbitrationPoint, ...]:
         return tuple(self._all_arbiters)
+
+    @property
+    def arbitration_seed(self) -> int:
+        """Seed of the per-level arbitration permutation schedules."""
+        return self._arbitration_seed
+
+    def stages_at_level(self, level: int) -> tuple[RegisterStage, ...]:
+        """The register stages of one pipeline level, in registration order.
+
+        The order matters: per-cycle arbitration permutes *indices into this
+        tuple*, so an alternative engine that wants to replay the exact same
+        arbitration decisions (see :mod:`repro.engine`) must enumerate the
+        stages of each level through this accessor.
+        """
+        if level not in self._stages_by_level:
+            raise ValueError(f"unknown pipeline level {level}")
+        return tuple(self._stages_by_level[level])
 
     # ------------------------------------------------------------------ #
     # Per-cycle operation

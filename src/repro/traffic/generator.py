@@ -91,3 +91,29 @@ class PoissonInjector:
             next_arrival += self._interarrival()
         self._next_arrival[core_id] = next_arrival
         return count
+
+    def arrivals_batch(self, cycle: int) -> list[tuple[int, int]]:
+        """Arrival counts of every core for ``cycle``, as ``(core, count)`` pairs.
+
+        Equivalent to calling :meth:`arrivals` for every core in ascending
+        order — the shared random stream is consumed in exactly the same
+        sequence, so mixing the two APIs across cycles is safe — but cores
+        with no due arrival cost a single comparison instead of a method
+        call.  Only cores with at least one arrival appear in the result.
+        Used by the vector traffic driver (:mod:`repro.engine.traffic`).
+        """
+        if self.injection_rate == 0.0:
+            return []
+        batch: list[tuple[int, int]] = []
+        next_arrival = self._next_arrival
+        interarrival = self._interarrival
+        for core_id, due in enumerate(next_arrival):
+            if due > cycle:
+                continue
+            count = 0
+            while due <= cycle:
+                count += 1
+                due += interarrival()
+            next_arrival[core_id] = due
+            batch.append((core_id, count))
+        return batch

@@ -21,7 +21,15 @@ from repro.utils.stats import Histogram, OnlineStats
 
 @dataclass
 class TrafficResult:
-    """Outcome of one traffic-simulation point (one injected-load value)."""
+    """Outcome of one traffic-simulation point (one injected-load value).
+
+    Raises
+    ------
+    ValueError
+        At construction, when ``measured_cycles`` or ``num_cores`` is not
+        positive — such a point has no defined throughput, and failing
+        early beats a ``ZeroDivisionError`` deep inside a report table.
+    """
 
     topology: str
     injected_load: float
@@ -34,6 +42,23 @@ class TrafficResult:
     p95_latency: int
     max_latency: int
     local_fraction: float
+    #: Optional per-flit completion log, ``(flit_id, core, bank, created,
+    #: injected, completed)`` tuples in completion order; populated only
+    #: when the simulation ran with ``record_flits=True`` (used by the
+    #: engine-equivalence tests).
+    flit_log: list[tuple[int, int, int, int, int, int]] | None = None
+
+    def __post_init__(self) -> None:
+        if self.measured_cycles <= 0:
+            raise ValueError(
+                "TrafficResult needs a positive measurement window to define "
+                f"throughput; got measured_cycles={self.measured_cycles}"
+            )
+        if self.num_cores <= 0:
+            raise ValueError(
+                "TrafficResult needs at least one core to define throughput; "
+                f"got num_cores={self.num_cores}"
+            )
 
     @property
     def throughput(self) -> float:
@@ -72,6 +97,15 @@ class TrafficSimulation:
             cluster.config.num_cores, injection_rate, seed=seed
         )
         self._queues: list[deque] = [deque() for _ in range(cluster.config.num_cores)]
+        #: Source queues of engine rows used by the vector fast path —
+        #: persistent across run() calls, mirroring ``self._queues`` on the
+        #: legacy path, so back-to-back measurement windows see the same
+        #: backlog on both engines.
+        self._row_queues: list[deque] | None = (
+            [deque() for _ in range(cluster.config.num_cores)]
+            if getattr(cluster, "engine_kind", "legacy") == "vector"
+            else None
+        )
         self._injection_schedule = PermutationSchedule(
             cluster.config.num_cores, seed=seed + 1
         )
@@ -113,11 +147,30 @@ class TrafficSimulation:
     # Measurement
     # ------------------------------------------------------------------ #
 
-    def run(self, warmup_cycles: int = 500, measure_cycles: int = 1500) -> TrafficResult:
-        """Warm the network up, then measure throughput and latency."""
+    def run(
+        self,
+        warmup_cycles: int = 500,
+        measure_cycles: int = 1500,
+        record_flits: bool = False,
+    ) -> TrafficResult:
+        """Warm the network up, then measure throughput and latency.
+
+        On a cluster built with ``engine="vector"`` the whole loop runs on
+        the structure-of-arrays engine (:mod:`repro.engine.traffic`) — same
+        random streams, flit-for-flit identical results, several times
+        faster.  ``record_flits`` attaches the per-flit completion log to
+        the result (see :attr:`TrafficResult.flit_log`).
+        """
+        if getattr(self.cluster, "engine_kind", "legacy") == "vector":
+            from repro.engine.traffic import run_vector_traffic
+
+            return run_vector_traffic(
+                self, warmup_cycles, measure_cycles, record_flits=record_flits
+            )
         network = self.cluster.network
         latency = OnlineStats()
         histogram = Histogram()
+        flit_log: list[tuple[int, int, int, int, int, int]] = []
         completed_in_window = 0
         generated_in_window = 0
         injected_in_window = 0
@@ -130,6 +183,18 @@ class TrafficSimulation:
                 for flit in completions:
                     latency.add(flit.latency)
                     histogram.add(flit.latency)
+            if record_flits:
+                for flit in completions:
+                    flit_log.append(
+                        (
+                            flit.flit_id,
+                            flit.core_id,
+                            flit.bank_id,
+                            flit.created_cycle,
+                            flit.injected_cycle,
+                            flit.completed_cycle,
+                        )
+                    )
             generated = self._generate(cycle)
             injected = self._inject(cycle)
             if measuring:
@@ -150,6 +215,7 @@ class TrafficSimulation:
             p95_latency=histogram.percentile(0.95),
             max_latency=int(latency.maximum) if latency.count else 0,
             local_fraction=local_fraction,
+            flit_log=flit_log if record_flits else None,
         )
 
 

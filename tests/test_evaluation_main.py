@@ -76,3 +76,38 @@ def test_cache_flag_attaches_a_result_cache(monkeypatch, capsys, tmp_path):
     assert executor.cache is not None
     assert executor.cache.root == tmp_path
     capsys.readouterr()
+
+
+def test_engine_flag_reaches_the_settings(monkeypatch, capsys):
+    calls = []
+    monkeypatch.setitem(
+        evaluation_main.EXPERIMENTS, "fig10", _FakeDefinition(calls, "fig10")
+    )
+    exit_code = evaluation_main.main(["--engine", "vector", "fig10"])
+    assert exit_code == 0
+    _, settings, _ = calls[0]
+    assert settings.engine == "vector"
+    capsys.readouterr()
+
+
+def test_engine_defaults_to_environment(monkeypatch, capsys):
+    monkeypatch.setenv("MEMPOOL_ENGINE", "vector")
+    calls = []
+    monkeypatch.setitem(
+        evaluation_main.EXPERIMENTS, "fig10", _FakeDefinition(calls, "fig10")
+    )
+    exit_code = evaluation_main.main(["fig10"])
+    assert exit_code == 0
+    _, settings, _ = calls[0]
+    assert settings.engine == "vector"
+    capsys.readouterr()
+
+
+def test_bogus_engine_environment_fails_fast(monkeypatch):
+    import pytest
+
+    from repro.evaluation.settings import ExperimentSettings
+
+    monkeypatch.setenv("MEMPOOL_ENGINE", "Vector")
+    with pytest.raises(ValueError, match="unknown engine"):
+        ExperimentSettings()

@@ -5,10 +5,12 @@ import pytest
 from repro.core.agents import Barrier, Compute, IdleAgent, Load, TraceAgent, Use
 from repro.core.cluster import MemPoolCluster
 from repro.core.config import MemPoolConfig
+from repro.core.coremodel import CoreStats
 from repro.core.system import (
     BarrierMismatchError,
     GlobalBarrier,
     MemPoolSystem,
+    SystemResult,
     run_program,
 )
 
@@ -112,3 +114,30 @@ class TestSystemRun:
     def test_idle_agent_generates_no_work(self):
         agent = IdleAgent()
         assert list(agent.operations()) == []
+
+
+class TestSystemResultValidation:
+    """Degenerate simulation outcomes are rejected at construction."""
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SystemResult(cycles=-1, core_stats=[])
+
+    def test_activity_over_zero_cycles_rejected(self):
+        stats = CoreStats(compute_cycles=4)
+        with pytest.raises(ValueError, match="zero cycles"):
+            SystemResult(cycles=0, core_stats=[stats])
+
+    def test_requests_over_zero_cycles_rejected(self):
+        with pytest.raises(ValueError, match="zero cycles"):
+            SystemResult(cycles=0, core_stats=[], injected_requests=3)
+
+    def test_ipc_raises_on_zero_cycle_result(self):
+        result = SystemResult(cycles=0, core_stats=[])
+        with pytest.raises(ValueError, match="IPC is undefined"):
+            result.ipc
+
+    def test_ipc_of_idle_run_is_zero(self, toph_tiny_cluster):
+        result = MemPoolSystem(toph_tiny_cluster, {}).run()
+        assert result.instructions == 0
+        assert result.ipc == 0.0

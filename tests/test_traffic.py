@@ -116,3 +116,48 @@ class TestTrafficSimulation:
         )
         assert [result.injected_load for result in results] == [0.05, 0.1]
         assert results[1].throughput > results[0].throughput
+
+
+class TestTrafficResultValidation:
+    """Degenerate measurement windows are rejected at construction."""
+
+    def _kwargs(self, **overrides):
+        kwargs = dict(
+            topology="toph", injected_load=0.1, measured_cycles=100,
+            num_cores=16, generated_requests=10, injected_requests=10,
+            completed_requests=10, average_latency=5.0, p95_latency=7,
+            max_latency=9, local_fraction=0.0,
+        )
+        kwargs.update(overrides)
+        return kwargs
+
+    def test_zero_measurement_window_rejected(self):
+        from repro.traffic.simulation import TrafficResult
+
+        with pytest.raises(ValueError, match="measurement window"):
+            TrafficResult(**self._kwargs(measured_cycles=0))
+
+    def test_zero_cores_rejected(self):
+        from repro.traffic.simulation import TrafficResult
+
+        with pytest.raises(ValueError, match="at least one core"):
+            TrafficResult(**self._kwargs(num_cores=0))
+
+    def test_simulation_refuses_empty_window(self):
+        cluster = MemPoolCluster(MemPoolConfig.tiny("toph"))
+        with pytest.raises(ValueError, match="measurement window"):
+            TrafficSimulation(cluster, 0.1, seed=1).run(50, 0)
+
+    def test_record_flits_attaches_completion_log(self):
+        cluster = MemPoolCluster(MemPoolConfig.tiny("toph"))
+        result = TrafficSimulation(cluster, 0.2, seed=1).run(
+            50, 200, record_flits=True
+        )
+        assert result.flit_log
+        for record in result.flit_log:
+            flit_id, core, bank, created, injected, completed = record
+            assert 0 <= created <= injected <= completed
+        # Without the flag the log stays off the result (and out of caches).
+        assert TrafficSimulation(
+            MemPoolCluster(MemPoolConfig.tiny("toph")), 0.2, seed=1
+        ).run(50, 200).flit_log is None

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Diff the current engine benchmark against the committed baseline.
+
+``benchmarks/test_perf_engine.py`` writes ``benchmarks/BENCH_engine.json``
+with the measured legacy-vs-vector transport speedup;
+``benchmarks/BENCH_engine.baseline.json`` is the committed reference.
+This tool compares the two and fails (exit code 1) when the measured
+*speedup* regressed by more than the threshold (default 20 %).
+
+The comparison is on the speedup ratio, not on raw cycles/sec: absolute
+throughput varies with the host machine, but the legacy engine runs on the
+same machine in the same process, so the ratio is the portable signal.
+Raw cycles/sec of both engines are reported for context.
+
+A missing current-results file is not an error — the benchmark simply has
+not run yet — so the Makefile can wire this report into the ``test`` flow
+as a non-fatal step::
+
+    python tools/bench_report.py                # report + regression gate
+    python tools/bench_report.py --threshold 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+DEFAULT_CURRENT = BENCH_DIR / "BENCH_engine.json"
+DEFAULT_BASELINE = BENCH_DIR / "BENCH_engine.baseline.json"
+
+
+def load_result(path: Path) -> dict | None:
+    """Load one benchmark JSON file, or None when it does not exist."""
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> tuple[bool, str]:
+    """Compare two benchmark results.
+
+    Returns ``(ok, report)`` where ``ok`` is False when the current
+    speedup fell more than ``threshold`` (a fraction) below the baseline.
+    """
+    current_speedup = current["speedup"]
+    baseline_speedup = baseline["speedup"]
+    floor = baseline_speedup * (1.0 - threshold)
+    ok = current_speedup >= floor
+    lines = [
+        f"engine benchmark: {current.get('benchmark', 'unknown workload')}",
+        f"  advance speedup : {current_speedup:.2f}x "
+        f"(baseline {baseline_speedup:.2f}x, regression floor {floor:.2f}x)",
+        f"  end-to-end      : {current.get('end_to_end_speedup', 0):.2f}x "
+        f"(baseline {baseline.get('end_to_end_speedup', 0):.2f}x)",
+    ]
+    for engine in ("legacy", "vector"):
+        cur = current.get(engine, {})
+        base = baseline.get(engine, {})
+        lines.append(
+            f"  {engine:<6} advance : "
+            f"{cur.get('advance_cycles_per_sec', 0):>8} cycles/s "
+            f"(baseline {base.get('advance_cycles_per_sec', 0)}; "
+            "machine-dependent, informational)"
+        )
+    lines.append(
+        "  verdict         : "
+        + ("OK" if ok else f"REGRESSION (> {threshold:.0%} below baseline)")
+    )
+    return ok, "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current", type=Path, default=DEFAULT_CURRENT,
+        help=f"current results (default: {DEFAULT_CURRENT})",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help=f"committed baseline (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="allowed fractional speedup regression (default: 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_result(args.current)
+    if current is None:
+        print(
+            f"bench_report: no current results at {args.current} "
+            "(run `make bench-engine` to produce them); nothing to compare"
+        )
+        return 0
+    baseline = load_result(args.baseline)
+    if baseline is None:
+        print(f"bench_report: no committed baseline at {args.baseline}")
+        return 1
+    ok, report = compare(current, baseline, args.threshold)
+    print(report)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
