@@ -24,7 +24,7 @@ bench:
 	$(PYTHON) -m pytest -q benchmarks
 
 bench-engine:
-	$(PYTHON) -m pytest -q benchmarks/test_perf_engine.py
+	$(PYTHON) -m pytest -q benchmarks/test_perf_engine.py benchmarks/test_perf_workloads.py
 	$(PYTHON) tools/bench_report.py
 
 # Prefer ruff's pydocstyle (D) rules or pydocstyle itself when available;
@@ -33,13 +33,15 @@ bench-engine:
 docs-lint:
 	@if $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check --select D1 src/repro/experiments src/repro/evaluation \
-			src/repro/engine; \
+			src/repro/engine src/repro/workloads; \
 	elif $(PYTHON) -c "import pydocstyle" >/dev/null 2>&1; then \
 		$(PYTHON) -m pydocstyle --select D100,D101,D102,D103,D104 \
-			src/repro/experiments src/repro/evaluation src/repro/engine; \
+			src/repro/experiments src/repro/evaluation src/repro/engine \
+			src/repro/workloads; \
 	else \
 		$(PYTHON) tools/docs_lint.py src/repro/experiments src/repro/evaluation \
-			src/repro/traffic src/repro/kernels src/repro/engine; \
+			src/repro/traffic src/repro/kernels src/repro/engine \
+			src/repro/workloads; \
 	fi
 
 figures:

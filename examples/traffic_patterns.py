@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Workload catalogue walkthrough: sweep traffic patterns through the engine.
+
+Demonstrates the pluggable workload subsystem (`repro.workloads`):
+
+1. enumerate the registered destination patterns and injection processes;
+2. sweep the full pattern catalogue through the `repro.experiments`
+   engine on the vector timing core and print the comparison table;
+3. drive one pattern directly — open-loop through `TrafficSimulation`
+   and closed-loop through `MemPoolSystem.synthetic` — with the same
+   registry names.
+
+Run with::
+
+    python examples/traffic_patterns.py                # 64-core cluster
+    MEMPOOL_FULL=1 python examples/traffic_patterns.py # full 256-core cluster
+"""
+
+from __future__ import annotations
+
+from repro.core.cluster import MemPoolCluster
+from repro.core.config import MemPoolConfig
+from repro.core.system import MemPoolSystem
+from repro.evaluation import ExperimentSettings
+from repro.evaluation.workloads import run_workloads
+from repro.experiments import Executor
+from repro.workloads import injector_catalogue, pattern_catalogue
+
+
+def main() -> None:
+    print("== Registered workloads ==")
+    for entry in pattern_catalogue():
+        print(f"  pattern  {entry.name:<16} {entry.summary}")
+    for entry in injector_catalogue():
+        print(f"  injector {entry.name:<16} {entry.summary}")
+    print()
+
+    print("== Pattern catalogue on TopH (vector engine, Poisson injection) ==")
+    settings = ExperimentSettings(
+        warmup_cycles=200, measure_cycles=600, engine="vector"
+    )
+    catalogue = run_workloads(
+        settings, injectors=("poisson",), load=0.25, executor=Executor()
+    )
+    print(catalogue.report())
+    print()
+
+    print("== One workload, both simulators ==")
+    config = (
+        MemPoolConfig.full("toph") if settings.full_scale
+        else MemPoolConfig.scaled("toph")
+    )
+    cluster = MemPoolCluster(config, engine="vector")
+    open_loop = cluster.traffic_simulation(
+        0.2, pattern="hotspot", injector="bursty", seed=0,
+        pattern_params={"p_hot": 0.3, "num_hotspots": 4},
+    ).run(warmup_cycles=200, measure_cycles=600)
+    print(
+        f"  open-loop   hotspot/bursty: throughput "
+        f"{open_loop.throughput:.3f} request/core/cycle, "
+        f"avg latency {open_loop.average_latency:.1f} cycles"
+    )
+
+    closed = MemPoolSystem.synthetic(
+        MemPoolCluster(config, engine="vector"),
+        0.2, pattern="hotspot", injector="bursty", requests_per_core=16,
+        seed=0, pattern_params={"p_hot": 0.3, "num_hotspots": 4},
+    ).run()
+    print(
+        f"  closed-loop hotspot/bursty: {closed.completed_requests} requests "
+        f"in {closed.cycles} cycles "
+        f"({closed.completed_requests / closed.cycles:.1f} request/cycle)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -15,8 +15,10 @@ The package models the full MemPool system at the architectural level:
 * ``repro.snitch`` — a functional RV32IM(+A subset) instruction-set
   simulator of the Snitch core, with a small assembler.
 * ``repro.kernels`` — the matmul / 2dconv / dct benchmarks of Section V-C.
-* ``repro.traffic`` — synthetic Poisson traffic generation and measurement
-  used for the network analysis of Section V-A/V-B.
+* ``repro.workloads`` — the pluggable workload registry: destination
+  patterns x injection processes with scalar and batched APIs.
+* ``repro.traffic`` — open-loop measurement of a selected workload, used
+  for the network analysis of Section V-A/V-B.
 * ``repro.energy`` / ``repro.physical`` — energy, power, area and timing
   models calibrated against Section VI.
 * ``repro.evaluation`` — one experiment driver per figure/table.

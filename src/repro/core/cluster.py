@@ -117,6 +117,40 @@ class MemPoolCluster:
         return self.tiles[self.config.tile_of_core(core_id)]
 
     # ------------------------------------------------------------------ #
+    # Workload entry point
+    # ------------------------------------------------------------------ #
+
+    def traffic_simulation(
+        self,
+        injection_rate: float,
+        pattern: str | object | None = None,
+        injector: str | object | None = None,
+        seed: int = 0,
+        pattern_params: dict | None = None,
+        injector_params: dict | None = None,
+    ):
+        """Build an open-loop traffic simulation of this cluster.
+
+        Thin entry point over
+        :class:`repro.traffic.simulation.TrafficSimulation` accepting
+        workload registry names (``pattern="tornado"``,
+        ``injector="bursty"``) or pre-built components; runs on whichever
+        timing engine this cluster was constructed with.  Imported lazily
+        because the traffic layer sits above the core layer.
+        """
+        from repro.traffic.simulation import TrafficSimulation
+
+        return TrafficSimulation(
+            self,
+            injection_rate,
+            pattern=pattern,
+            seed=seed,
+            injector=injector,
+            pattern_params=pattern_params,
+            injector_params=injector_params,
+        )
+
+    # ------------------------------------------------------------------ #
     # Request construction
     # ------------------------------------------------------------------ #
 

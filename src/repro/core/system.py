@@ -174,6 +174,63 @@ class MemPoolSystem:
         self._step_schedule = PermutationSchedule(len(self.cores), seed=1)
         self.cycle = 0
 
+    @classmethod
+    def synthetic(
+        cls,
+        cluster: MemPoolCluster,
+        injection_rate: float,
+        pattern: str = "uniform",
+        injector: str = "poisson",
+        requests_per_core: int = 32,
+        seed: int = 0,
+        pattern_params: dict | None = None,
+        injector_params: dict | None = None,
+    ) -> "MemPoolSystem":
+        """A system whose cores run a registered workload closed-loop.
+
+        Builds one :class:`repro.workloads.agents.WorkloadAgent` per core
+        from the named destination pattern and injection process, so any
+        workload from the :mod:`repro.workloads` registry also runs
+        through the execution-driven simulator — reorder buffers,
+        outstanding-load limits and barriers included — on either timing
+        engine.  Imported lazily because the workload layer sits above
+        the core layer.
+
+        Parameters
+        ----------
+        cluster : MemPoolCluster
+            The cluster to run on (its ``engine`` choice is honoured).
+        injection_rate : float
+            Offered load in requests per core per cycle (must be > 0).
+        pattern, injector : str
+            Workload registry names (see
+            :func:`repro.workloads.available_patterns` /
+            :func:`~repro.workloads.available_injectors`).
+        requests_per_core : int
+            Loads each core issues before finishing.
+        seed : int
+            Experiment seed the workload substreams derive from.
+        pattern_params, injector_params : dict, optional
+            Registry parameters (e.g. ``{"p_local": 0.25}``).
+        """
+        from repro.workloads.agents import build_synthetic_agents
+        from repro.workloads.registry import make_injector, make_pattern
+
+        config = cluster.config
+        agents = build_synthetic_agents(
+            cluster,
+            make_pattern(pattern, config, seed=seed, **(pattern_params or {})),
+            make_injector(
+                injector,
+                config.num_cores,
+                injection_rate,
+                seed=seed,
+                **(injector_params or {}),
+            ),
+            requests_per_core,
+        )
+        return cls(cluster, agents=agents)
+
     # ------------------------------------------------------------------ #
     # Simulation loop
     # ------------------------------------------------------------------ #

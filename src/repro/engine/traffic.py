@@ -2,9 +2,14 @@
 
 This is the fast path behind :meth:`repro.traffic.simulation.TrafficSimulation.run`
 when the cluster was built with ``engine="vector"``: the same warm-up /
-measure loop, the same random streams (Poisson arrivals, destination
+measure loop, the same random streams (arrival process, destination
 pattern, injection permutation — drawn in exactly the legacy order, so
 results are flit-for-flit identical), but no :class:`Flit` objects anywhere.
+Workloads are consumed through their *batched* APIs
+(:meth:`~repro.workloads.base.InjectionProcess.arrivals_batch`,
+:meth:`~repro.workloads.base.DestinationPattern.destinations`), which are
+contractually draw-order-equivalent to the scalar calls the legacy loop
+makes — any registered pattern/injector pair therefore runs here unchanged.
 Requests are rows of the engine's :class:`~repro.engine.soa.FlitTable` from
 generation to completion, and each cycle's transport is the engine's
 level-ordered array passes.
@@ -85,16 +90,23 @@ def run_vector_traffic(
             for row in completions:
                 flit_log.append(flits.row_record(row))
 
+        batch = injector.arrivals_batch(cycle)
         generated = 0
-        for core_id, count in injector.arrivals_batch(cycle):
-            queue = queues[core_id]
-            tile = core_tile[core_id]
-            for _ in range(count):
-                bank_id = pattern.destination(core_id)
-                queue.append(new_flit(core_id, bank_id, False, cycle))
-                if bank_tile[bank_id] == tile:
+        if batch:
+            # One batched destination call per cycle: the pattern consumes
+            # its random draws in exactly the legacy order (cores ascending,
+            # one draw sequence per arrival), but table-backed patterns
+            # resolve the whole cycle in a single array gather.
+            sources: list[int] = []
+            for core_id, count in batch:
+                sources.extend([core_id] * count)
+            destinations = pattern.destinations(sources)
+            for core_id, bank_id in zip(sources, destinations):
+                bank_id = int(bank_id)
+                queues[core_id].append(new_flit(core_id, bank_id, False, cycle))
+                if bank_tile[bank_id] == core_tile[core_id]:
                     local_requests += 1
-            generated += count
+            generated = len(sources)
         total_requests += generated
 
         injected = engine.inject_queues(queues, injection_schedule.order(cycle), cycle)

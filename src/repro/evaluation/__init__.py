@@ -27,6 +27,11 @@ from repro.evaluation.power_table import (
     power_sweep,
     run_power_table,
 )
+from repro.evaluation.workloads import (
+    WorkloadCatalogueResult,
+    run_workloads,
+    workloads_sweep,
+)
 
 __all__ = [
     "ExperimentSettings",
@@ -48,4 +53,7 @@ __all__ = [
     "run_physical_tables",
     "PhysicalTablesResult",
     "physical_sweep",
+    "run_workloads",
+    "WorkloadCatalogueResult",
+    "workloads_sweep",
 ]

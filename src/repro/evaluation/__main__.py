@@ -27,6 +27,7 @@ from repro.experiments.registry import (
     resolve_selection,
     run_experiments,
 )
+from repro.workloads import available_injectors, available_patterns
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -62,6 +63,16 @@ def main(argv: list[str] | None = None) -> int:
              "MEMPOOL_ENGINE or 'legacy'; 'vector' is the faster "
              "structure-of-arrays engine, results are identical)",
     )
+    parser.add_argument(
+        "--pattern", choices=available_patterns(), default=None,
+        help="destination pattern of the synthetic-traffic experiments "
+             "(default: MEMPOOL_PATTERN or 'uniform')",
+    )
+    parser.add_argument(
+        "--injector", choices=available_injectors(), default=None,
+        help="injection process of the synthetic-traffic experiments "
+             "(default: MEMPOOL_INJECTOR or 'poisson')",
+    )
     args = parser.parse_args(argv)
 
     selected, error = resolve_selection(args.experiments)
@@ -72,9 +83,14 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         cache=ResultCache() if args.cache else None,
     )
-    settings = (
-        ExperimentSettings(engine=args.engine) if args.engine else ExperimentSettings()
-    )
+    overrides = {}
+    if args.engine:
+        overrides["engine"] = args.engine
+    if args.pattern:
+        overrides["pattern"] = args.pattern
+    if args.injector:
+        overrides["injector"] = args.injector
+    settings = ExperimentSettings(**overrides)
     print(f"MemPool reproduction — experiment scale: {settings.scale_label}\n")
     for name, result, elapsed in run_experiments(selected, settings, executor):
         print(f"=== {name} ({elapsed:.1f} s) ===")

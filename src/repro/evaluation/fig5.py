@@ -94,6 +94,8 @@ def simulate_fig5_point(
     measure_cycles: int = DEFAULT_MEASURE_CYCLES,
     seed: int = DEFAULT_SEED,
     engine: str = "legacy",
+    pattern: str = "uniform",
+    injector: str = "poisson",
 ) -> TrafficResult:
     """Simulate one (topology, load) point of Figure 5.
 
@@ -117,6 +119,10 @@ def simulate_fig5_point(
     engine : str
         Timing engine (``legacy`` or ``vector``); both produce identical
         results for fixed seeds, ``vector`` is several times faster.
+    pattern, injector : str
+        Workload registry names (see :mod:`repro.workloads`); the paper's
+        Figure 5 is ``uniform`` x ``poisson``, but any registered pair
+        runs through either engine.
 
     Returns
     -------
@@ -136,9 +142,14 @@ def simulate_fig5_point(
         measure_cycles=measure_cycles,
         seed=seed,
         engine=engine,
+        pattern=pattern,
+        injector=injector,
     )
     cluster = MemPoolCluster(settings.config(topology), engine=settings.engine)
-    simulation = TrafficSimulation(cluster, load, seed=settings.seed)
+    simulation = TrafficSimulation(
+        cluster, load, pattern=settings.pattern, seed=settings.seed,
+        injector=settings.injector,
+    )
     return simulation.run(
         warmup_cycles=settings.warmup_cycles,
         measure_cycles=settings.measure_cycles,

@@ -87,6 +87,7 @@ def simulate_fig6_point(
     measure_cycles: int = DEFAULT_MEASURE_CYCLES,
     seed: int = DEFAULT_SEED,
     engine: str = "legacy",
+    injector: str = "poisson",
 ) -> TrafficResult:
     """Simulate one (p_local, load) point of Figure 6 on the TopH cluster.
 
@@ -109,6 +110,10 @@ def simulate_fig6_point(
     engine : str
         Timing engine (``legacy`` or ``vector``); both produce identical
         results for fixed seeds, ``vector`` is several times faster.
+    injector : str
+        Injection-process registry name (see :mod:`repro.workloads`);
+        the paper uses ``poisson``.  The destination pattern is not a
+        knob here — the ``local_biased`` pattern *is* the experiment.
 
     Returns
     -------
@@ -128,10 +133,14 @@ def simulate_fig6_point(
         measure_cycles=measure_cycles,
         seed=seed,
         engine=engine,
+        injector=injector,
     )
     cluster = MemPoolCluster(settings.config("toph"), engine=settings.engine)
     pattern = LocalBiasedPattern(cluster.config, p_local, seed=settings.seed)
-    simulation = TrafficSimulation(cluster, load, pattern=pattern, seed=settings.seed)
+    simulation = TrafficSimulation(
+        cluster, load, pattern=pattern, seed=settings.seed,
+        injector=settings.injector,
+    )
     return simulation.run(
         warmup_cycles=settings.warmup_cycles,
         measure_cycles=settings.measure_cycles,
@@ -145,10 +154,14 @@ def fig6_sweep(
 ) -> Sweep:
     """The (p_local x load) parameter grid of Figure 6 as a :class:`Sweep`."""
     settings = settings or ExperimentSettings()
+    base = settings.as_params()
+    # fig6's destination pattern is the experiment itself (local_biased
+    # with the swept p_local); only the injection process is a knob.
+    base.pop("pattern", None)
     return Sweep(
         runner="repro.evaluation.fig6:simulate_fig6_point",
         grid={"p_local": tuple(p_locals), "load": tuple(loads)},
-        base=settings.as_params(),
+        base=base,
         name="fig6",
     )
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.core.cluster import ENGINES
 from repro.core.config import MemPoolConfig
+from repro.workloads.registry import available_injectors, available_patterns
 
 
 def _full_scale_from_environment() -> bool:
@@ -23,6 +24,14 @@ def _full_scale_from_environment() -> bool:
 
 def _engine_from_environment() -> str:
     return os.environ.get("MEMPOOL_ENGINE", "legacy") or "legacy"
+
+
+def _pattern_from_environment() -> str:
+    return os.environ.get("MEMPOOL_PATTERN", "uniform") or "uniform"
+
+
+def _injector_from_environment() -> str:
+    return os.environ.get("MEMPOOL_INJECTOR", "poisson") or "poisson"
 
 
 #: Default warm-up window of the synthetic-traffic measurements.  The
@@ -51,15 +60,32 @@ class ExperimentSettings:
     #: structure-of-arrays engine of :mod:`repro.engine`).  Both produce
     #: identical results for fixed seeds; honours ``MEMPOOL_ENGINE``.
     engine: str = field(default_factory=_engine_from_environment)
+    #: Destination pattern of the synthetic-traffic experiments, by
+    #: workload registry name; honours ``MEMPOOL_PATTERN``.  fig6 ignores
+    #: it — its sweep *is* the ``local_biased`` pattern.
+    pattern: str = field(default_factory=_pattern_from_environment)
+    #: Injection process of the synthetic-traffic experiments, by
+    #: workload registry name; honours ``MEMPOOL_INJECTOR``.
+    injector: str = field(default_factory=_injector_from_environment)
 
     def __post_init__(self) -> None:
         # Validate here rather than deep inside a sweep worker: a typo'd
-        # MEMPOOL_ENGINE should fail before any point is expanded, hashed
-        # into a cache key, or shipped to a process pool.
+        # MEMPOOL_ENGINE / MEMPOOL_PATTERN should fail before any point is
+        # expanded, hashed into a cache key, or shipped to a process pool.
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r} (MEMPOOL_ENGINE/--engine); "
                 f"expected one of {ENGINES}"
+            )
+        if self.pattern not in available_patterns():
+            raise ValueError(
+                f"unknown pattern {self.pattern!r} (MEMPOOL_PATTERN/--pattern); "
+                f"expected one of {available_patterns()}"
+            )
+        if self.injector not in available_injectors():
+            raise ValueError(
+                f"unknown injector {self.injector!r} (MEMPOOL_INJECTOR/"
+                f"--injector); expected one of {available_injectors()}"
             )
 
     def config(self, topology: str, **overrides) -> MemPoolConfig:
@@ -86,6 +112,8 @@ class ExperimentSettings:
             "measure_cycles": self.measure_cycles,
             "seed": self.seed,
             "engine": self.engine,
+            "pattern": self.pattern,
+            "injector": self.injector,
         }
 
     @property

@@ -1,0 +1,195 @@
+"""Workload catalogue sweep: every pattern x injector through one cluster.
+
+Not a figure of the paper — this is the scenario grid the ROADMAP's
+"as many scenarios as you can imagine" goal asks for: the full cartesian
+product of registered destination patterns and injection processes, each
+measured open-loop on the TopH cluster at one injected load.  It doubles
+as the end-to-end proof that the workload registry is wired through the
+whole stack: every point goes through the sweep engine, the result cache
+and the selected timing engine exactly like the paper's figures do.
+
+Run it with ``python -m repro.experiments run workloads`` (add
+``--engine vector`` for the fast path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cluster import MemPoolCluster
+from repro.evaluation.settings import (
+    DEFAULT_MEASURE_CYCLES,
+    DEFAULT_SEED,
+    DEFAULT_WARMUP_CYCLES,
+    ExperimentSettings,
+)
+from repro.experiments import Executor, ExperimentSpec, Sweep
+from repro.traffic import TrafficResult, TrafficSimulation
+from repro.workloads import available_injectors, available_patterns
+
+#: Injected load of the catalogue points (request/core/cycle) — high
+#: enough that pattern structure separates the topologies' behaviour,
+#: low enough that benign patterns stay unsaturated.
+DEFAULT_CATALOGUE_LOAD = 0.25
+#: Topology the catalogue runs on.
+DEFAULT_CATALOGUE_TOPOLOGY = "toph"
+
+
+@dataclass
+class WorkloadCatalogueResult:
+    """Per-(pattern, injector) traffic measurements at one load."""
+
+    topology: str
+    load: float
+    results: dict[tuple[str, str], TrafficResult] = field(default_factory=dict)
+
+    def throughput(self, pattern: str, injector: str) -> float:
+        """Accepted throughput of one workload combination."""
+        return self.results[(pattern, injector)].throughput
+
+    def latency(self, pattern: str, injector: str) -> float:
+        """Average round-trip latency of one workload combination."""
+        return self.results[(pattern, injector)].average_latency
+
+    def report(self) -> str:
+        """One table row per workload combination."""
+        header = (
+            f"Workload catalogue: {self.topology}, injected load "
+            f"{self.load:g} request/core/cycle"
+        )
+        rows = [
+            f"{'pattern':<16} {'injector':<10} {'throughput':>10} "
+            f"{'avg lat':>8} {'p95':>5} {'local':>6}"
+        ]
+        for (pattern, injector), result in sorted(self.results.items()):
+            rows.append(
+                f"{pattern:<16} {injector:<10} {result.throughput:>10.3f} "
+                f"{result.average_latency:>8.2f} {result.p95_latency:>5d} "
+                f"{result.local_fraction:>6.2f}"
+            )
+        return header + "\n" + "\n".join(rows)
+
+
+def simulate_workload_point(
+    *,
+    pattern: str,
+    injector: str,
+    load: float = DEFAULT_CATALOGUE_LOAD,
+    topology: str = DEFAULT_CATALOGUE_TOPOLOGY,
+    full_scale: bool = False,
+    warmup_cycles: int = DEFAULT_WARMUP_CYCLES,
+    measure_cycles: int = DEFAULT_MEASURE_CYCLES,
+    seed: int = DEFAULT_SEED,
+    engine: str = "legacy",
+) -> TrafficResult:
+    """Simulate one (pattern, injector) point of the workload catalogue.
+
+    Module-level point function of the sweep engine: all parameters are
+    picklable primitives, each call builds its own cluster and workload
+    substreams.
+
+    Parameters
+    ----------
+    pattern, injector : str
+        Workload registry names (see :mod:`repro.workloads`).
+    load : float
+        Injected load in requests per core per cycle.
+    topology : str
+        Interconnect topology to drive.
+    full_scale, warmup_cycles, measure_cycles, seed, engine
+        As in :func:`repro.evaluation.fig5.simulate_fig5_point`.
+
+    Examples
+    --------
+    >>> result = simulate_workload_point(
+    ...     pattern="neighbor", injector="bernoulli", load=0.1,
+    ...     warmup_cycles=50, measure_cycles=100)
+    >>> result.throughput > 0.0
+    True
+    """
+    settings = ExperimentSettings(
+        full_scale=full_scale,
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        seed=seed,
+        engine=engine,
+        pattern=pattern,
+        injector=injector,
+    )
+    cluster = MemPoolCluster(settings.config(topology), engine=settings.engine)
+    simulation = TrafficSimulation(
+        cluster, load, pattern=settings.pattern, seed=settings.seed,
+        injector=settings.injector,
+    )
+    return simulation.run(
+        warmup_cycles=settings.warmup_cycles,
+        measure_cycles=settings.measure_cycles,
+    )
+
+
+def workloads_sweep(
+    settings: ExperimentSettings | None = None,
+    patterns: tuple[str, ...] | None = None,
+    injectors: tuple[str, ...] | None = None,
+    load: float = DEFAULT_CATALOGUE_LOAD,
+    topology: str = DEFAULT_CATALOGUE_TOPOLOGY,
+) -> Sweep:
+    """The (pattern x injector) grid of the workload catalogue as a :class:`Sweep`.
+
+    ``patterns`` / ``injectors`` default to the *entire* registry, so a
+    newly registered workload shows up in the catalogue (and the CLI)
+    with no further wiring.
+    """
+    settings = settings or ExperimentSettings()
+    base = settings.as_params()
+    # The grid enumerates the workload axes itself.
+    base.pop("pattern", None)
+    base.pop("injector", None)
+    return Sweep(
+        runner="repro.evaluation.workloads:simulate_workload_point",
+        grid={
+            "pattern": tuple(patterns if patterns is not None else available_patterns()),
+            "injector": tuple(
+                injectors if injectors is not None else available_injectors()
+            ),
+        },
+        base={**base, "load": load, "topology": topology},
+        name="workloads",
+    )
+
+
+def assemble_workloads(
+    specs: list[ExperimentSpec], results: list[TrafficResult]
+) -> WorkloadCatalogueResult:
+    """Fold per-point results back into a :class:`WorkloadCatalogueResult`."""
+    catalogue = WorkloadCatalogueResult(
+        topology=specs[0].params["topology"] if specs else DEFAULT_CATALOGUE_TOPOLOGY,
+        load=specs[0].params["load"] if specs else DEFAULT_CATALOGUE_LOAD,
+    )
+    for spec, result in zip(specs, results):
+        catalogue.results[(spec.params["pattern"], spec.params["injector"])] = result
+    return catalogue
+
+
+def run_workloads(
+    settings: ExperimentSettings | None = None,
+    patterns: tuple[str, ...] | None = None,
+    injectors: tuple[str, ...] | None = None,
+    load: float = DEFAULT_CATALOGUE_LOAD,
+    topology: str = DEFAULT_CATALOGUE_TOPOLOGY,
+    executor: Executor | None = None,
+) -> WorkloadCatalogueResult:
+    """Run the workload catalogue sweep.
+
+    Examples
+    --------
+    >>> settings = ExperimentSettings(warmup_cycles=50, measure_cycles=100)
+    >>> result = run_workloads(
+    ...     settings, patterns=("uniform",), injectors=("poisson",), load=0.1)
+    >>> result.throughput("uniform", "poisson") > 0.0
+    True
+    """
+    sweep = workloads_sweep(settings, patterns, injectors, load, topology)
+    specs = sweep.specs()
+    results = (executor or Executor()).run(specs)
+    return assemble_workloads(specs, results)

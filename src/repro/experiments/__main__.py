@@ -5,7 +5,10 @@ Usage::
     python -m repro.experiments run                 # every experiment, serial
     python -m repro.experiments run fig5 fig7 -w 8  # two sweeps on 8 workers
     python -m repro.experiments run --no-cache      # force recomputation
+    python -m repro.experiments run fig5 --pattern tornado --injector bursty
+    python -m repro.experiments run workloads --engine vector  # full catalogue
     python -m repro.experiments list                # registered experiments
+    python -m repro.experiments workloads           # workload catalogue
     python -m repro.experiments clean               # drop the result cache
 
 ``run`` executes the selected experiments through the shared
@@ -29,6 +32,12 @@ from repro.experiments.registry import (
     EXPERIMENTS,
     resolve_selection,
     run_experiments,
+)
+from repro.workloads import (
+    available_injectors,
+    available_patterns,
+    injector_catalogue,
+    pattern_catalogue,
 )
 
 
@@ -77,8 +86,26 @@ def build_parser() -> argparse.ArgumentParser:
              "MEMPOOL_ENGINE or 'legacy'; 'vector' is the faster "
              "structure-of-arrays engine, results are identical)",
     )
+    run.add_argument(
+        "--pattern",
+        choices=available_patterns(),
+        default=None,
+        help="destination pattern of the synthetic-traffic experiments "
+             "(default: MEMPOOL_PATTERN or 'uniform'; fig6 always runs "
+             "its own local_biased sweep)",
+    )
+    run.add_argument(
+        "--injector",
+        choices=available_injectors(),
+        default=None,
+        help="injection process of the synthetic-traffic experiments "
+             "(default: MEMPOOL_INJECTOR or 'poisson')",
+    )
 
     commands.add_parser("list", help="list the registered experiments")
+    commands.add_parser(
+        "workloads", help="list the registered workload patterns and injectors"
+    )
 
     clean = commands.add_parser("clean", help="delete every cached result")
     clean.add_argument(
@@ -95,6 +122,18 @@ def _command_list() -> int:
         size = definition.build_sweep(settings).size
         plural = "point" if size == 1 else "points"
         print(f"{name:<10} {size:>3} {plural}  {definition.title}")
+    return 0
+
+
+def _command_workloads() -> int:
+    print("destination patterns:")
+    for entry in pattern_catalogue():
+        knobs = ", ".join(sorted(entry.params)) or "-"
+        print(f"  {entry.name:<16} {entry.summary}  [knobs: {knobs}]")
+    print("injection processes:")
+    for entry in injector_catalogue():
+        knobs = ", ".join(sorted(entry.params)) or "-"
+        print(f"  {entry.name:<16} {entry.summary}  [knobs: {knobs}]")
     return 0
 
 
@@ -122,6 +161,10 @@ def _command_run(args: argparse.Namespace) -> int:
         overrides["full_scale"] = True
     if args.engine:
         overrides["engine"] = args.engine
+    if args.pattern:
+        overrides["pattern"] = args.pattern
+    if args.injector:
+        overrides["injector"] = args.injector
     settings = ExperimentSettings(**overrides)
     print(f"MemPool reproduction — experiment scale: {settings.scale_label}\n")
     for name, result, _elapsed in run_experiments(selected, settings, executor):
@@ -143,6 +186,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _command_list()
+    if args.command == "workloads":
+        return _command_workloads()
     if args.command == "clean":
         return _command_clean(args.cache_dir)
     return _command_run(args)

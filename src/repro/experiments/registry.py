@@ -20,7 +20,15 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
-from repro.evaluation import fig5, fig6, fig7, fig10, physical_tables, power_table
+from repro.evaluation import (
+    fig5,
+    fig6,
+    fig7,
+    fig10,
+    physical_tables,
+    power_table,
+    workloads,
+)
 from repro.evaluation.settings import ExperimentSettings
 from repro.experiments.executor import Executor
 from repro.experiments.spec import ExperimentSpec
@@ -153,5 +161,11 @@ EXPERIMENTS: dict[str, ExperimentDefinition] = {
         title="tile/cluster area, timing and congestion (Sections VI-B/C)",
         build_sweep=physical_tables.physical_sweep,
         assemble=physical_tables.assemble_physical,
+    ),
+    "workloads": ExperimentDefinition(
+        name="workloads",
+        title="workload catalogue: every pattern x injector on TopH",
+        build_sweep=workloads.workloads_sweep,
+        assemble=workloads.assemble_workloads,
     ),
 }

@@ -1,4 +1,9 @@
-"""Synthetic traffic generation and measurement (Section V-A / V-B)."""
+"""Synthetic traffic generation and measurement (Section V-A / V-B).
+
+Workload selection (destination patterns, injection processes) lives in
+:mod:`repro.workloads`; this package drives a selected workload through a
+cluster open-loop and measures throughput and latency.
+"""
 
 from repro.traffic.generator import (
     LocalBiasedPattern,

@@ -1,119 +1,40 @@
-"""Synthetic traffic generators.
+"""Synthetic traffic generators (compatibility shim over :mod:`repro.workloads`).
 
 Section V-A: *"Each core is replaced by a synthetic traffic generator, which
 generates new requests following a Poisson process of rate lambda.  The
 requests have a random uniformly distributed destination memory bank."*
+Section V-B adds the locality knob (``p_local``) used to evaluate the
+hybrid addressing scheme.
 
-Section V-B adds the locality knob used to evaluate the hybrid addressing
-scheme: a request targets the core's own tile (its sequential region) with
-probability ``p_local`` and any bank of the cluster otherwise.
+The implementations moved to the pluggable workload subsystem:
+
+* :class:`repro.workloads.base.DestinationPattern` (historically named
+  ``TrafficPattern`` here — the alias is kept for subclasses in the wild),
+* :class:`repro.workloads.patterns.UniformRandomPattern` /
+  :class:`~repro.workloads.patterns.LocalBiasedPattern`,
+* :class:`repro.workloads.injection.PoissonInjector`.
+
+RNG hygiene: these three legacy components are *grandfathered* onto the
+seed repository's shared streams — ``random.Random(seed)`` for the
+patterns, ``random.Random(seed ^ 0x5EED)`` for the injector, same draw
+order — so fixed-seed figure outputs stay bit-identical.  Everything else
+in the catalogue draws from per-core substreams; the full reproducibility
+contract is documented in :mod:`repro.workloads.rng`.
 """
 
 from __future__ import annotations
 
-import random
+from repro.workloads.base import DestinationPattern
+from repro.workloads.injection import PoissonInjector
+from repro.workloads.patterns import LocalBiasedPattern, UniformRandomPattern
 
-from repro.core.config import MemPoolConfig
-from repro.utils.validation import check_in_range, check_non_negative
+#: Historical name of the destination-pattern base class; kept so existing
+#: subclasses (and the equivalence tests' ad-hoc patterns) keep working.
+TrafficPattern = DestinationPattern
 
-
-class TrafficPattern:
-    """Chooses the destination bank of each generated request."""
-
-    def __init__(self, config: MemPoolConfig, seed: int = 0) -> None:
-        self.config = config
-        self.rng = random.Random(seed)
-
-    def destination(self, core_id: int) -> int:
-        """Return the global bank index targeted by a new request of ``core_id``."""
-        raise NotImplementedError
-
-
-class UniformRandomPattern(TrafficPattern):
-    """Uniformly random destination over every bank of the cluster (Figure 5)."""
-
-    def destination(self, core_id: int) -> int:
-        """A uniformly random destination bank for ``core_id``."""
-        return self.rng.randrange(self.config.num_banks)
-
-
-class LocalBiasedPattern(TrafficPattern):
-    """Destination in the core's own tile with probability ``p_local`` (Figure 6).
-
-    With probability ``p_local`` the request goes to a uniformly chosen bank
-    of the issuing core's tile — modelling an access to the tile's sequential
-    region under the hybrid addressing scheme.  Otherwise the destination is
-    uniform over the whole cluster, as in the interleaved regime.
-    """
-
-    def __init__(self, config: MemPoolConfig, p_local: float, seed: int = 0) -> None:
-        super().__init__(config, seed)
-        check_in_range("p_local", p_local, 0.0, 1.0)
-        self.p_local = p_local
-
-    def destination(self, core_id: int) -> int:
-        """A bank in the core's own tile with probability ``p_local``, else uniform."""
-        config = self.config
-        if self.rng.random() < self.p_local:
-            tile = config.tile_of_core(core_id)
-            return tile * config.banks_per_tile + self.rng.randrange(config.banks_per_tile)
-        return self.rng.randrange(config.num_banks)
-
-
-class PoissonInjector:
-    """Per-core Poisson arrival process with rate ``injection_rate`` req/cycle."""
-
-    def __init__(self, num_cores: int, injection_rate: float, seed: int = 0) -> None:
-        check_non_negative("injection_rate", injection_rate)
-        self.injection_rate = injection_rate
-        self.rng = random.Random(seed ^ 0x5EED)
-        self._next_arrival = [
-            self._first_arrival() for _ in range(num_cores)
-        ]
-
-    def _first_arrival(self) -> float:
-        if self.injection_rate == 0.0:
-            return float("inf")
-        # Desynchronise the cores by starting each process at a random phase.
-        return self.rng.uniform(0.0, 1.0 / self.injection_rate)
-
-    def _interarrival(self) -> float:
-        return self.rng.expovariate(self.injection_rate)
-
-    def arrivals(self, core_id: int, cycle: int) -> int:
-        """Number of new requests core ``core_id`` generates during ``cycle``."""
-        if self.injection_rate == 0.0:
-            return 0
-        count = 0
-        next_arrival = self._next_arrival[core_id]
-        while next_arrival <= cycle:
-            count += 1
-            next_arrival += self._interarrival()
-        self._next_arrival[core_id] = next_arrival
-        return count
-
-    def arrivals_batch(self, cycle: int) -> list[tuple[int, int]]:
-        """Arrival counts of every core for ``cycle``, as ``(core, count)`` pairs.
-
-        Equivalent to calling :meth:`arrivals` for every core in ascending
-        order — the shared random stream is consumed in exactly the same
-        sequence, so mixing the two APIs across cycles is safe — but cores
-        with no due arrival cost a single comparison instead of a method
-        call.  Only cores with at least one arrival appear in the result.
-        Used by the vector traffic driver (:mod:`repro.engine.traffic`).
-        """
-        if self.injection_rate == 0.0:
-            return []
-        batch: list[tuple[int, int]] = []
-        next_arrival = self._next_arrival
-        interarrival = self._interarrival
-        for core_id, due in enumerate(next_arrival):
-            if due > cycle:
-                continue
-            count = 0
-            while due <= cycle:
-                count += 1
-                due += interarrival()
-            next_arrival[core_id] = due
-            batch.append((core_id, count))
-        return batch
+__all__ = [
+    "TrafficPattern",
+    "UniformRandomPattern",
+    "LocalBiasedPattern",
+    "PoissonInjector",
+]

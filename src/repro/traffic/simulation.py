@@ -17,6 +17,8 @@ from repro.core.cluster import MemPoolCluster
 from repro.traffic.generator import PoissonInjector, TrafficPattern, UniformRandomPattern
 from repro.utils.rotation import PermutationSchedule
 from repro.utils.stats import Histogram, OnlineStats
+from repro.workloads.base import InjectionProcess
+from repro.workloads.registry import make_injector, make_pattern
 
 
 @dataclass
@@ -81,19 +83,74 @@ class TrafficResult:
 
 
 class TrafficSimulation:
-    """Drives synthetic traffic through one cluster configuration."""
+    """Drives synthetic traffic through one cluster configuration.
+
+    Parameters
+    ----------
+    cluster : MemPoolCluster
+        The cluster under test (either engine).
+    injection_rate : float
+        Offered load in requests per core per cycle.
+    pattern : TrafficPattern or str, optional
+        The destination pattern, as an instance or a registry name from
+        :func:`repro.workloads.available_patterns`; uniform random by
+        default.
+    seed : int
+        Experiment seed shared by pattern, injector and injection
+        schedule (workload components derive disjoint substreams from
+        it, see :mod:`repro.workloads.rng`).
+    injector : InjectionProcess or str, optional
+        The injection process, as an instance or a registry name from
+        :func:`repro.workloads.available_injectors`; Poisson (the
+        paper's process) by default.
+    pattern_params, injector_params : dict, optional
+        Registry parameters (e.g. ``{"p_local": 0.25}``) applied when
+        the corresponding component is given by name; rejected with an
+        instance, which is already fully constructed.
+    """
 
     def __init__(
         self,
         cluster: MemPoolCluster,
         injection_rate: float,
-        pattern: TrafficPattern | None = None,
+        pattern: TrafficPattern | str | None = None,
         seed: int = 0,
+        injector: InjectionProcess | str | None = None,
+        pattern_params: dict | None = None,
+        injector_params: dict | None = None,
     ) -> None:
         self.cluster = cluster
+        if isinstance(pattern, str):
+            pattern = make_pattern(
+                pattern, cluster.config, seed=seed, **(pattern_params or {})
+            )
+        elif pattern_params:
+            raise ValueError(
+                "pattern_params only apply when the pattern is given by "
+                "registry name; got an already-built pattern instance"
+            )
         self.pattern = pattern or UniformRandomPattern(cluster.config, seed=seed)
         self.injection_rate = injection_rate
-        self.injector = PoissonInjector(
+        if isinstance(injector, str):
+            injector = make_injector(
+                injector,
+                cluster.config.num_cores,
+                injection_rate,
+                seed=seed,
+                **(injector_params or {}),
+            )
+        elif injector_params:
+            raise ValueError(
+                "injector_params only apply when the injector is given by "
+                "registry name; got an already-built injector instance"
+            )
+        if injector is not None and injector.injection_rate != injection_rate:
+            raise ValueError(
+                f"injector rate {injector.injection_rate} disagrees with the "
+                f"simulation's injection_rate {injection_rate}; the result "
+                "would be labelled with the wrong offered load"
+            )
+        self.injector = injector or PoissonInjector(
             cluster.config.num_cores, injection_rate, seed=seed
         )
         self._queues: list[deque] = [deque() for _ in range(cluster.config.num_cores)]
@@ -226,19 +283,27 @@ def run_load_sweep(
     warmup_cycles: int = 500,
     measure_cycles: int = 1500,
     seed: int = 0,
+    pattern: str | None = None,
+    injector: str | None = None,
 ) -> list[TrafficResult]:
     """Run one traffic simulation per injected load value.
 
     ``make_cluster`` is a zero-argument callable building a fresh cluster for
     each point (the stage network keeps state, so points must not share one).
     ``pattern_factory`` maps a cluster to a :class:`TrafficPattern`; the
-    default is uniform random traffic.
+    default is uniform random traffic.  Alternatively ``pattern`` /
+    ``injector`` select registered workloads by name (mutually exclusive
+    with ``pattern_factory``).
     """
+    if pattern_factory is not None and pattern is not None:
+        raise ValueError("pass either pattern_factory or pattern, not both")
     results = []
     for load in loads:
         cluster = make_cluster()
-        pattern = pattern_factory(cluster) if pattern_factory else None
-        simulation = TrafficSimulation(cluster, load, pattern=pattern, seed=seed)
+        chosen = pattern_factory(cluster) if pattern_factory else pattern
+        simulation = TrafficSimulation(
+            cluster, load, pattern=chosen, seed=seed, injector=injector
+        )
         results.append(
             simulation.run(warmup_cycles=warmup_cycles, measure_cycles=measure_cycles)
         )

@@ -1,0 +1,105 @@
+"""Deterministic RNG substreams for workload components.
+
+Every stochastic workload component (a destination pattern, an injection
+process) needs randomness that is
+
+* **reproducible** — the same experiment seed must produce the same draws
+  on every machine and every run, because figure outputs are compared
+  bit-for-bit against committed references;
+* **non-aliasing** — two components in the same run must never consume
+  the same underlying stream.  The seed state of the repository had
+  exactly this bug: every :class:`TrafficPattern` wrapped one shared
+  ``random.Random(seed)``, so two patterns built from the same seed drew
+  interleaved values from *identical* streams.
+
+This module provides per-component, per-core substreams derived from one
+experiment seed by *seed mixing*: the seed and a sequence of role tags
+(for example ``("pattern", "HotspotPattern", core_id)``) are folded
+through the splitmix64 finaliser, whose avalanche behaviour guarantees
+that adjacent inputs produce statistically independent outputs.  String
+tags are first reduced to 64-bit integers with BLAKE2b, so the mix does
+not depend on :func:`hash` (and therefore not on ``PYTHONHASHSEED``).
+
+Reproducibility contract
+------------------------
+
+* New workload components draw exclusively from
+  :func:`substream`-derived generators keyed on ``(seed, role, component
+  name, core id)``.  Distinct components — and distinct cores within a
+  component — therefore own disjoint streams by construction.
+* The two **legacy default workloads** are grandfathered: for fixed-seed
+  backwards compatibility, ``UniformRandomPattern`` /
+  ``LocalBiasedPattern`` keep drawing from the shared
+  ``random.Random(seed)`` stream and ``PoissonInjector`` from
+  ``random.Random(seed ^ 0x5EED)``, in exactly the seed repository's
+  draw order.  This is what keeps the fig5/fig6 fixed-seed outputs
+  bit-identical across the refactor; it is documented here rather than
+  silently relied upon.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+_MASK64 = (1 << 64) - 1
+#: The splitmix64 increment (the 64-bit golden ratio).
+_GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _splitmix64(value: int) -> int:
+    """One application of the splitmix64 finaliser (full 64-bit avalanche)."""
+    value = (value + _GOLDEN_GAMMA) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def _tag_to_int(tag: int | str) -> int:
+    """Reduce a mixing tag to a 64-bit integer, independent of PYTHONHASHSEED."""
+    if isinstance(tag, bool) or not isinstance(tag, (int, str)):
+        raise TypeError(f"substream tags must be int or str, got {tag!r}")
+    if isinstance(tag, int):
+        return tag & _MASK64
+    digest = hashlib.blake2b(tag.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def substream_seed(seed: int, *tags: int | str) -> int:
+    """Derive a 64-bit subseed from an experiment seed and a tag path.
+
+    Parameters
+    ----------
+    seed : int
+        The experiment seed every component of a run shares.
+    *tags : int or str
+        The component's identity path, e.g. ``("pattern", "HotspotPattern",
+        core_id)``.  Different paths yield independent subseeds; the same
+        path always yields the same subseed.
+
+    Examples
+    --------
+    >>> substream_seed(0, "pattern", 3) == substream_seed(0, "pattern", 3)
+    True
+    >>> substream_seed(0, "pattern", 3) == substream_seed(0, "pattern", 4)
+    False
+    >>> substream_seed(0, "pattern", 3) == substream_seed(0, "injector", 3)
+    False
+    """
+    state = seed & _MASK64
+    for tag in tags:
+        state = _splitmix64(state ^ _tag_to_int(tag))
+    return state
+
+
+def substream(seed: int, *tags: int | str) -> random.Random:
+    """A ``random.Random`` seeded on :func:`substream_seed` of the tag path.
+
+    Examples
+    --------
+    >>> a = substream(7, "injector", "bernoulli", 0)
+    >>> b = substream(7, "injector", "bernoulli", 0)
+    >>> [a.random() for _ in range(3)] == [b.random() for _ in range(3)]
+    True
+    """
+    return random.Random(substream_seed(seed, *tags))

@@ -282,7 +282,7 @@ class TestFig7SeedRegression:
 class TestRegistry:
     def test_every_experiment_is_registered(self):
         assert set(EXPERIMENTS) == {
-            "fig5", "fig6", "fig7", "fig10", "power", "physical",
+            "fig5", "fig6", "fig7", "fig10", "power", "physical", "workloads",
         }
 
     def test_definitions_build_consistent_sweeps(self):

@@ -72,6 +72,35 @@ def compare(current: dict, baseline: dict, threshold: float) -> tuple[bool, str]
     return ok, "\n".join(lines)
 
 
+def workloads_report(current: dict) -> str | None:
+    """Per-pattern dispatch-overhead report, or None when never benchmarked.
+
+    ``benchmarks/test_perf_workloads.py`` appends a ``"workloads"`` section
+    to the current results file; this prints each pattern's simulated
+    cycles/sec relative to the ``uniform`` pattern on the same host (the
+    machine-portable signal).  Informational: pattern cost legitimately
+    varies with the congestion each pattern creates, so there is no
+    regression gate here — the gate is the engine speedup above.
+    """
+    section = current.get("workloads")
+    if not section:
+        return None
+    patterns = section.get("patterns", {})
+    if not patterns:
+        return None
+    uniform = patterns.get("uniform", {}).get("cycles_per_sec", 0)
+    lines = [f"workload benchmark: {section.get('benchmark', 'pattern sweep')}"]
+    for name in sorted(patterns):
+        metrics = patterns[name]
+        rate = metrics.get("cycles_per_sec", 0)
+        relative = f"{rate / uniform:5.2f}x uniform" if uniform else "     n/a"
+        lines.append(
+            f"  {name:<16}: {rate:>8} cycles/s ({relative}, "
+            f"throughput {metrics.get('throughput', 0):.3f})"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -100,8 +129,19 @@ def main(argv: list[str] | None = None) -> int:
     if baseline is None:
         print(f"bench_report: no committed baseline at {args.baseline}")
         return 1
-    ok, report = compare(current, baseline, args.threshold)
-    print(report)
+    if "speedup" in current:
+        ok, report = compare(current, baseline, args.threshold)
+        print(report)
+    else:
+        # Only the workload sweep has run so far; nothing to gate on.
+        ok = True
+        print(
+            "bench_report: current results carry no engine speedup yet "
+            "(run `make bench-engine` for the legacy-vs-vector comparison)"
+        )
+    workloads = workloads_report(current)
+    if workloads:
+        print(workloads)
     return 0 if ok else 1
 
 
