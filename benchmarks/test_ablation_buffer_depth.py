@@ -13,7 +13,7 @@ the hundreds of register boundaries.
 import pytest
 
 from repro.core.cluster import MemPoolCluster
-from repro.core.config import MemPoolConfig, TimingParameters
+from repro.core.config import TimingParameters
 from repro.traffic import TrafficSimulation
 from repro.utils.tables import format_table
 

@@ -108,15 +108,20 @@ def test_engine_speedup_and_write_bench(report_sink):
     vector = _run_sweep("vector")
     advance_speedup = legacy["advance_seconds"] / vector["advance_seconds"]
     end_to_end_speedup = legacy["total_seconds"] / vector["total_seconds"]
-    payload = {
-        "benchmark": "64-core load sweep "
-                     f"({BENCH_TOPOLOGY}, loads {list(BENCH_LOADS)}, "
-                     f"{WARMUP_CYCLES}+{MEASURE_CYCLES} cycles/point)",
-        "legacy": legacy,
-        "vector": vector,
-        "speedup": round(advance_speedup, 2),
-        "end_to_end_speedup": round(end_to_end_speedup, 2),
-    }
+    # Merge-update: the batch/workload benchmarks keep their own sections
+    # in the same file, whichever order the suite ran in.
+    payload = json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
+    payload.update(
+        {
+            "benchmark": "64-core load sweep "
+                         f"({BENCH_TOPOLOGY}, loads {list(BENCH_LOADS)}, "
+                         f"{WARMUP_CYCLES}+{MEASURE_CYCLES} cycles/point)",
+            "legacy": legacy,
+            "vector": vector,
+            "speedup": round(advance_speedup, 2),
+            "end_to_end_speedup": round(end_to_end_speedup, 2),
+        }
+    )
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     report_sink.append(
         f"engine benchmark ({payload['benchmark']}): "

@@ -10,7 +10,7 @@ interleaved across all tiles — exactly the comparison made in Section V-C.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.config import WORD_BYTES, MemPoolConfig
 

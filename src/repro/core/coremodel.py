@@ -12,7 +12,7 @@ back-pressures its request port.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.agents import Barrier, Compute, CoreAgent, Load, Operation, Store, Use
 from repro.core.rob import ReorderBuffer

@@ -172,6 +172,7 @@ class CompiledNetwork:
         self.path_first_stage_pos: list[int] = []
         self.path_resource_len: list[int] = []
         self._template_ids: dict[tuple[int, int, bool], int] = {}
+        self._template_tables: dict[bool, list[list[int]]] = {}
         #: Tile of every global bank id (placeholder-resolution helper).
         self.tile_of_bank = [
             topology.config.tile_of_bank(bank)
@@ -196,6 +197,36 @@ class CompiledNetwork:
             path_id = self._compile_path(resources, self.bank_stage_ids[bank_id])
             self._template_ids[key] = path_id
         return path_id
+
+    def template_table(self, needs_response: bool) -> list[list[int] | None]:
+        """Per-core ``[core][tile] -> template id`` rows, compiled on demand.
+
+        Returns a list with one slot per core, lazily filled by
+        :meth:`template_row`: a core's row is compiled in one go the first
+        time any flit of that core needs it, so hot loops resolve a
+        template with two list reads instead of a dictionary lookup — and
+        a batch of simulations sharing this compiled network
+        (:class:`repro.engine.batch.SimBatch`) pays each compilation once
+        instead of once per simulation.  Cached per direction.
+        """
+        table = self._template_tables.get(needs_response)
+        if table is None:
+            table = [None] * self.topology.config.num_cores
+            self._template_tables[needs_response] = table
+        return table
+
+    def template_row(self, core_id: int, needs_response: bool) -> list[int]:
+        """Compile (or fetch) ``core_id``'s per-tile template-id row."""
+        table = self.template_table(needs_response)
+        row = table[core_id]
+        if row is None:
+            config = self.topology.config
+            banks_per_tile = config.banks_per_tile
+            row = table[core_id] = [
+                self.path_id(core_id, tile * banks_per_tile, needs_response)
+                for tile in range(config.num_tiles)
+            ]
+        return row
 
     def _compile_path(self, resources: list[Resource], bank_stage: int) -> int:
         """Compile one resource path into a move chain; return its id."""

@@ -349,8 +349,10 @@ class VectorStageNetwork:
     moment they matter (injection and completion).
     """
 
-    def __init__(self, topology: ClusterTopology) -> None:
-        self.compiled = CompiledNetwork(topology)
+    def __init__(
+        self, topology: ClusterTopology, compiled: CompiledNetwork | None = None
+    ) -> None:
+        self.compiled = compiled or CompiledNetwork(topology)
         self.engine = VectorEngine(self.compiled)
         #: Rows of in-flight object flits, keyed by row id.
         self._flit_of_row: dict[int, Flit] = {}

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.core.cluster import ENGINES
 from repro.evaluation.settings import ExperimentSettings
 from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.executor import Executor
@@ -58,10 +59,12 @@ def main(argv: list[str] | None = None) -> int:
         help=f"read/write the on-disk result cache ({default_cache_dir()})",
     )
     parser.add_argument(
-        "--engine", choices=("legacy", "vector"), default=None,
+        "--engine", choices=ENGINES, default=None,
         help="timing engine for the simulating experiments (default: "
              "MEMPOOL_ENGINE or 'legacy'; 'vector' is the faster "
-             "structure-of-arrays engine, results are identical)",
+             "structure-of-arrays engine, 'batch' additionally advances "
+             "compatible traffic points as one SimBatch — results are "
+             "identical for all three)",
     )
     parser.add_argument(
         "--pattern", choices=available_patterns(), default=None,

@@ -12,7 +12,12 @@ nested loop.  This package replaces those loops with one engine:
 * :class:`~repro.experiments.cache.ResultCache` memoises results on disk
   under a content hash of the configuration *and* the program source, so
   re-running an unchanged sweep is near-instant while any code edit
-  transparently invalidates stale entries.
+  transparently invalidates stale entries;
+* :class:`~repro.experiments.batch.BatchRunner` (selected by
+  ``--engine batch`` / ``MEMPOOL_ENGINE=batch``) groups compatible
+  open-loop traffic points of a sweep and advances each group as one
+  :class:`repro.engine.batch.SimBatch`, amortising per-point overhead
+  while remaining flit-for-flit identical to per-point execution.
 
 Every figure/table driver in :mod:`repro.evaluation` goes through this
 engine; the registry of those drivers lives in
@@ -28,6 +33,7 @@ Examples
 [24, 54]
 """
 
+from repro.experiments.batch import BATCHABLE_RUNNERS, BatchRunner, TrafficAdapter
 from repro.experiments.cache import MISS, CacheStats, ResultCache, default_cache_dir
 from repro.experiments.executor import ExecutionReport, Executor, run_sweep
 from repro.experiments.spec import (
@@ -41,6 +47,9 @@ from repro.experiments.sweep import Sweep
 
 __all__ = [
     "MISS",
+    "BATCHABLE_RUNNERS",
+    "BatchRunner",
+    "TrafficAdapter",
     "CacheStats",
     "ResultCache",
     "default_cache_dir",

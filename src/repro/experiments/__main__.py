@@ -23,8 +23,8 @@ automatically.
 from __future__ import annotations
 
 import argparse
-import sys
 
+from repro.core.cluster import ENGINES
 from repro.evaluation.settings import ExperimentSettings
 from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.executor import Executor
@@ -80,11 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--engine",
-        choices=("legacy", "vector"),
+        choices=ENGINES,
         default=None,
         help="timing engine for the simulating experiments (default: "
              "MEMPOOL_ENGINE or 'legacy'; 'vector' is the faster "
-             "structure-of-arrays engine, results are identical)",
+             "structure-of-arrays engine, 'batch' additionally advances "
+             "compatible traffic points as one SimBatch — results are "
+             "identical for all three)",
     )
     run.add_argument(
         "--pattern",

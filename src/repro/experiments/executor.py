@@ -125,18 +125,7 @@ class Executor:
         """
         spec_list = list(specs)
         started = time.perf_counter()
-        results: list[Any] = [None] * len(spec_list)
-
-        miss_indices: list[int] = []
-        if self.cache is not None:
-            for index, spec in enumerate(spec_list):
-                value = self.cache.get(spec.key)
-                if value is MISS:
-                    miss_indices.append(index)
-                else:
-                    results[index] = value
-        else:
-            miss_indices = list(range(len(spec_list)))
+        results, miss_indices = self.scan_cache(spec_list)
 
         if miss_indices:
             fresh = self._compute(
@@ -147,14 +136,63 @@ class Executor:
                 if self.cache is not None:
                     self.cache.put(spec_list[index].key, value)
 
-        self.last_report = ExecutionReport(
-            total=len(spec_list),
-            cache_hits=len(spec_list) - len(miss_indices),
-            computed=len(miss_indices),
+        self.last_report = self.make_report(
+            len(spec_list), len(miss_indices), started
+        )
+        return results
+
+    def scan_cache(
+        self, spec_list: Sequence[ExperimentSpec]
+    ) -> tuple[list[Any], list[int]]:
+        """Partition specs into cached results and cache-miss indices.
+
+        Returns ``(results, miss_indices)``: one slot per spec, filled for
+        hits and ``None`` for misses (every index, when no cache is
+        attached).  Shared by :meth:`run` and by front-ends that compute
+        misses their own way (:class:`repro.experiments.batch.BatchRunner`).
+        """
+        results: list[Any] = [None] * len(spec_list)
+        if self.cache is None:
+            return results, list(range(len(spec_list)))
+        miss_indices: list[int] = []
+        for index, spec in enumerate(spec_list):
+            value = self.cache.get(spec.key)
+            if value is MISS:
+                miss_indices.append(index)
+            else:
+                results[index] = value
+        return results, miss_indices
+
+    def compute(
+        self,
+        specs: Sequence[ExperimentSpec],
+        progress: Callable[[ExperimentSpec, Any], None] | None = None,
+    ) -> list[Any]:
+        """Compute ``specs`` unconditionally and store fresh results.
+
+        The no-scan half of :meth:`run`: callers that already know these
+        specs are cache misses (:class:`repro.experiments.batch.BatchRunner`
+        partitioned them via :meth:`scan_cache`) skip the second round of
+        cache probes.  Does not touch :attr:`last_report`.
+        """
+        spec_list = list(specs)
+        outputs = self._compute(spec_list, progress)
+        if self.cache is not None:
+            for spec, value in zip(spec_list, outputs):
+                self.cache.put(spec.key, value)
+        return outputs
+
+    def make_report(
+        self, total: int, computed: int, started: float
+    ) -> ExecutionReport:
+        """The :class:`ExecutionReport` of a run that began at ``started``."""
+        return ExecutionReport(
+            total=total,
+            cache_hits=total - computed,
+            computed=computed,
             workers=self.workers,
             elapsed_s=time.perf_counter() - started,
         )
-        return results
 
     def _compute(
         self,

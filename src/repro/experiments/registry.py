@@ -60,6 +60,12 @@ class ExperimentDefinition:
     def run(self, settings: ExperimentSettings, executor: Executor) -> Any:
         """Expand the sweep, run it on ``executor`` and assemble the result.
 
+        With ``settings.engine == "batch"`` the executor is fronted by a
+        :class:`~repro.experiments.batch.BatchRunner`, which advances
+        compatible traffic points of the sweep as one
+        :class:`repro.engine.batch.SimBatch` group and leaves every other
+        point (and the cache protocol) with the plain executor.
+
         Examples
         --------
         >>> from repro.experiments.registry import EXPERIMENTS
@@ -69,7 +75,16 @@ class ExperimentDefinition:
         True
         """
         specs = self.build_sweep(settings).specs()
-        results = executor.run(specs)
+        if settings.engine == "batch":
+            from repro.experiments.batch import BatchRunner
+
+            runner = BatchRunner(executor)
+            results = runner.run(specs)
+            # Surface the batched run's counters where CLI callers read
+            # them (they print ``executor.last_report``).
+            executor.last_report = runner.last_report
+        else:
+            results = executor.run(specs)
         return self.assemble(specs, results)
 
 

@@ -22,7 +22,7 @@ import numpy as np
 from repro.core.agents import Compute, Store
 from repro.core.cluster import MemPoolCluster
 from repro.core.config import WORD_BYTES
-from repro.kernels.runtime import Kernel, load_use_block, split_evenly
+from repro.kernels.runtime import Kernel, load_use_block
 
 #: Transform size (8x8 blocks, as in the paper).
 BLOCK = 8

@@ -15,6 +15,18 @@ from __future__ import annotations
 import random
 
 
+#: Memo of generated permutation pools, keyed by ``(count, seed,
+#: pool_size)``.  Pools are immutable tuples, so instances can share them;
+#: sweeps build thousands of schedules from a handful of distinct keys
+#: (every point re-derives the same pool from the same seed), and the
+#: ~``pool_size * count`` RNG shuffles are a measurable share of a short
+#: simulation's set-up time.  Bounded FIFO: a long-lived process sweeping
+#: many distinct seeds evicts the oldest pools instead of growing without
+#: limit.
+_pool_cache: dict[tuple[int, int, int], tuple[tuple[int, ...], ...]] = {}
+_POOL_CACHE_LIMIT = 64
+
+
 class PermutationSchedule:
     """A pool of fixed random permutations of ``range(count)`` indexed by cycle."""
 
@@ -25,14 +37,20 @@ class PermutationSchedule:
             raise ValueError(f"pool_size must be positive, got {pool_size}")
         self.count = count
         self.pool_size = pool_size
-        rng = random.Random(seed)
-        base = list(range(count))
-        permutations = []
-        for _ in range(pool_size):
-            order = base[:]
-            rng.shuffle(order)
-            permutations.append(tuple(order))
-        self._permutations = tuple(permutations)
+        key = (count, seed, pool_size)
+        permutations = _pool_cache.get(key)
+        if permutations is None:
+            rng = random.Random(seed)
+            base = list(range(count))
+            generated = []
+            for _ in range(pool_size):
+                order = base[:]
+                rng.shuffle(order)
+                generated.append(tuple(order))
+            while len(_pool_cache) >= _POOL_CACHE_LIMIT:
+                del _pool_cache[next(iter(_pool_cache))]
+            permutations = _pool_cache[key] = tuple(generated)
+        self._permutations = permutations
 
     def order(self, cycle: int) -> tuple[int, ...]:
         """The visiting order to use during ``cycle``."""

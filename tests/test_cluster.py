@@ -1,7 +1,5 @@
 """Tests of the MemPoolCluster container (tiles, flit construction, locality)."""
 
-import pytest
-
 from repro.core.cluster import MemPoolCluster
 from repro.core.config import MemPoolConfig
 from repro.interconnect.resources import RegisterStage

@@ -6,7 +6,6 @@ from repro.evaluation import (
     ExperimentSettings,
     run_fig5,
     run_fig6,
-    run_fig7,
     run_fig10,
     run_physical_tables,
     run_power_table,

@@ -127,7 +127,6 @@ class TestFloorplan:
 
     def test_groups_form_quadrants(self, full_cluster):
         model = FloorplanModel(full_cluster)
-        config = full_cluster.config
         centres = [model._group_centre_mm(group) for group in range(4)]
         xs = sorted({round(x, 3) for x, _ in centres})
         ys = sorted({round(y, 3) for _, y in centres})

@@ -1,6 +1,5 @@
 """Tests of the ISS-to-timing-model bridge and the instruction-cache model."""
 
-import numpy as np
 import pytest
 
 from repro.core.cluster import MemPoolCluster

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.snitch.assembler import AssemblerError, assemble
-from repro.snitch.registers import ABI_NAMES, RegisterFile, register_index
+from repro.snitch.registers import RegisterFile, register_index
 
 
 class TestRegisterNames:

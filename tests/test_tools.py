@@ -1,0 +1,230 @@
+"""The CI gate's own tooling: bench_report regression math and docs_lint.
+
+``tools/bench_report.py`` decides whether a benchmark run fails CI and
+``tools/docs_lint.py`` is the offline docstring linter behind
+``make docs-lint`` — neither had tests, so a bug in the *gate* (a wrong
+regression floor, a swallowed exit code) could silently wave regressions
+through.  These tests pin the gate math, the missing-file behaviour and
+the exit codes of both tools.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import bench_report  # noqa: E402  (tools/ is not a package)
+import docs_lint  # noqa: E402
+
+
+def _engine_payload(speedup, end_to_end=2.0):
+    return {
+        "benchmark": "test sweep",
+        "speedup": speedup,
+        "end_to_end_speedup": end_to_end,
+        "legacy": {"advance_cycles_per_sec": 100},
+        "vector": {"advance_cycles_per_sec": 300},
+    }
+
+
+class TestBenchReportCompare:
+    """The speedup-regression comparison itself."""
+
+    def test_equal_speedup_passes(self):
+        ok, report = bench_report.compare(
+            _engine_payload(3.0), _engine_payload(3.0), threshold=0.2
+        )
+        assert ok
+        assert "OK" in report
+
+    def test_regression_beyond_threshold_fails(self):
+        # Baseline 3.0, floor at 20% is 2.4 — a 2.3 measurement regressed.
+        ok, report = bench_report.compare(
+            _engine_payload(2.3), _engine_payload(3.0), threshold=0.2
+        )
+        assert not ok
+        assert "REGRESSION" in report
+
+    def test_regression_floor_is_inclusive(self):
+        # Exactly at the floor (4.0 * (1 - 0.25) == 3.0, exact in binary).
+        ok, _ = bench_report.compare(
+            _engine_payload(3.0), _engine_payload(4.0), threshold=0.25
+        )
+        assert ok
+
+    def test_improvement_passes(self):
+        ok, _ = bench_report.compare(
+            _engine_payload(4.0), _engine_payload(3.0), threshold=0.2
+        )
+        assert ok
+
+
+class TestBatchReport:
+    """The SimBatch section of the report."""
+
+    def test_absent_section_is_none(self):
+        assert bench_report.batch_report(_engine_payload(3.0), None, 0.2) is None
+
+    def test_no_baseline_is_informational(self):
+        current = {"batch": {"speedup": 2.4, "points": 33}}
+        ok, report = bench_report.batch_report(current, _engine_payload(3.0), 0.2)
+        assert ok
+        assert "informational" in report
+
+    def test_gated_against_baseline(self):
+        current = {"batch": {"speedup": 1.5}}
+        baseline = {"batch": {"speedup": 2.4}}
+        ok, report = bench_report.batch_report(current, baseline, 0.2)
+        assert not ok
+        assert "REGRESSION" in report
+        ok, _ = bench_report.batch_report(
+            {"batch": {"speedup": 2.0}}, baseline, 0.2
+        )
+        assert ok  # floor is 2.4 * 0.8 = 1.92
+
+
+class TestBenchReportMain:
+    """Exit codes of the command-line entry point."""
+
+    def test_missing_current_is_not_an_error(self, tmp_path, capsys):
+        code = bench_report.main(
+            ["--current", str(tmp_path / "missing.json"),
+             "--baseline", str(tmp_path / "also-missing.json")]
+        )
+        assert code == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_missing_baseline_fails(self, tmp_path, capsys):
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(_engine_payload(3.0)))
+        code = bench_report.main(
+            ["--current", str(current),
+             "--baseline", str(tmp_path / "missing.json")]
+        )
+        assert code == 1
+        assert "no committed baseline" in capsys.readouterr().out
+
+    def test_ok_run_exits_zero(self, tmp_path):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        current.write_text(json.dumps(_engine_payload(3.1)))
+        baseline.write_text(json.dumps(_engine_payload(3.0)))
+        assert bench_report.main(
+            ["--current", str(current), "--baseline", str(baseline)]
+        ) == 0
+
+    def test_engine_regression_exits_one(self, tmp_path):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        current.write_text(json.dumps(_engine_payload(2.0)))
+        baseline.write_text(json.dumps(_engine_payload(3.0)))
+        assert bench_report.main(
+            ["--current", str(current), "--baseline", str(baseline)]
+        ) == 1
+
+    def test_batch_regression_alone_exits_one(self, tmp_path):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        current_payload = _engine_payload(3.0)
+        current_payload["batch"] = {"speedup": 1.0}
+        baseline_payload = _engine_payload(3.0)
+        baseline_payload["batch"] = {"speedup": 2.4}
+        current.write_text(json.dumps(current_payload))
+        baseline.write_text(json.dumps(baseline_payload))
+        assert bench_report.main(
+            ["--current", str(current), "--baseline", str(baseline)]
+        ) == 1
+
+    def test_threshold_flag_is_honoured(self, tmp_path):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        current.write_text(json.dumps(_engine_payload(2.0)))
+        baseline.write_text(json.dumps(_engine_payload(3.0)))
+        args = ["--current", str(current), "--baseline", str(baseline)]
+        assert bench_report.main(args + ["--threshold", "0.5"]) == 0
+        assert bench_report.main(args + ["--threshold", "0.1"]) == 1
+
+    def test_workloads_only_results_exit_zero(self, tmp_path, capsys):
+        """A results file without an engine speedup has nothing to gate on."""
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        current.write_text(json.dumps(
+            {"workloads": {"patterns": {"uniform": {"cycles_per_sec": 100}}}}
+        ))
+        baseline.write_text(json.dumps(_engine_payload(3.0)))
+        assert bench_report.main(
+            ["--current", str(current), "--baseline", str(baseline)]
+        ) == 0
+        assert "no engine speedup yet" in capsys.readouterr().out
+
+
+class TestDocsLint:
+    """The offline missing-docstring checker."""
+
+    def test_clean_file_has_no_violations(self, tmp_path):
+        path = tmp_path / "clean.py"
+        path.write_text(
+            '"""Module docstring."""\n\n'
+            'def documented():\n    """Docstring."""\n\n'
+            'class Documented:\n    """Docstring."""\n\n'
+            '    def method(self):\n        """Docstring."""\n'
+        )
+        assert docs_lint.check_file(path) == []
+
+    def test_missing_module_docstring(self, tmp_path):
+        path = tmp_path / "bare.py"
+        path.write_text("x = 1\n")
+        violations = docs_lint.check_file(path)
+        assert len(violations) == 1
+        assert "module docstring" in violations[0]
+
+    def test_missing_function_class_and_method_docstrings(self, tmp_path):
+        path = tmp_path / "undocumented.py"
+        path.write_text(
+            '"""Module docstring."""\n\n'
+            "def function():\n    pass\n\n"
+            "class Klass:\n    def method(self):\n        pass\n"
+        )
+        violations = docs_lint.check_file(path)
+        assert len(violations) == 3
+        assert any("function function" in v for v in violations)
+        assert any("class Klass" in v for v in violations)
+        assert any("Klass.method" in v for v in violations)
+
+    def test_private_and_nested_names_are_exempt(self, tmp_path):
+        path = tmp_path / "exempt.py"
+        path.write_text(
+            '"""Module docstring."""\n\n'
+            "def _private():\n    pass\n\n"
+            'def outer():\n    """Doc."""\n    def inner():\n        pass\n'
+        )
+        assert docs_lint.check_file(path) == []
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""Module docstring."""\n')
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f():\n    pass\n")
+        assert docs_lint.main([str(clean)]) == 0
+        assert "OK" in capsys.readouterr().out
+        assert docs_lint.main([str(dirty)]) == 1
+        assert "violation" in capsys.readouterr().out
+        assert docs_lint.main([]) == 2  # usage error
+
+    def test_main_recurses_into_directories(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "module.py").write_text("x = 1\n")
+        assert docs_lint.main([str(tmp_path)]) == 1
+
+
+@pytest.mark.parametrize("tool", ["bench_report", "docs_lint"])
+def test_tools_have_module_docstrings(tool):
+    """The linting tools hold themselves to their own standard."""
+    module = {"bench_report": bench_report, "docs_lint": docs_lint}[tool]
+    assert module.__doc__ and module.__doc__.strip()

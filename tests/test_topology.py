@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import MemPoolConfig
-from repro.interconnect.resources import ArbitrationPoint, RegisterStage
+from repro.interconnect.resources import RegisterStage
 from repro.interconnect.topology import (
     IdealTopology,
     Top1Topology,

@@ -1,7 +1,5 @@
 """Tests of the shared utility helpers (stats, tables, validation, rotation)."""
 
-import math
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

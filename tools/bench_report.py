@@ -1,11 +1,13 @@
 #!/usr/bin/env python
-"""Diff the current engine benchmark against the committed baseline.
+"""Diff the current engine benchmarks against the committed baseline.
 
 ``benchmarks/test_perf_engine.py`` writes ``benchmarks/BENCH_engine.json``
-with the measured legacy-vs-vector transport speedup;
-``benchmarks/BENCH_engine.baseline.json`` is the committed reference.
-This tool compares the two and fails (exit code 1) when the measured
-*speedup* regressed by more than the threshold (default 20 %).
+with the measured legacy-vs-vector transport speedup, and
+``benchmarks/test_perf_batch.py`` merges the SimBatch-vs-sequential sweep
+speedup into the same file; ``benchmarks/BENCH_engine.baseline.json`` is
+the committed reference.  This tool compares the two and fails (exit code
+1) when either measured *speedup* regressed by more than the threshold
+(default 20 %).
 
 The comparison is on the speedup ratio, not on raw cycles/sec: absolute
 throughput varies with the host machine, but the legacy engine runs on the
@@ -72,6 +74,48 @@ def compare(current: dict, baseline: dict, threshold: float) -> tuple[bool, str]
     return ok, "\n".join(lines)
 
 
+def batch_report(
+    current: dict, baseline: dict | None, threshold: float
+) -> tuple[bool, str] | None:
+    """SimBatch-vs-sequential report and gate, or None when never benchmarked.
+
+    ``benchmarks/test_perf_batch.py`` merges a ``"batch"`` section into the
+    current results file; like the engine comparison, the gated signal is
+    the *speedup ratio* (sequential vector runs execute on the same host in
+    the same process), compared against the committed baseline's batch
+    speedup when one exists.
+    """
+    section = current.get("batch")
+    if not section:
+        return None
+    speedup = section.get("speedup", 0.0)
+    lines = [
+        f"batch benchmark : {section.get('benchmark', 'sweep batching')}",
+        f"  sweep speedup   : {speedup:.2f}x over sequential vector "
+        f"({section.get('sequential_seconds', 0)}s -> "
+        f"{section.get('batch_seconds', 0)}s, "
+        f"{section.get('points', 0)} points)",
+    ]
+    ok = True
+    base_section = (baseline or {}).get("batch")
+    if base_section and base_section.get("speedup"):
+        base_speedup = base_section["speedup"]
+        floor = base_speedup * (1.0 - threshold)
+        ok = speedup >= floor
+        lines.append(
+            "  verdict         : "
+            + (
+                f"OK (baseline {base_speedup:.2f}x, floor {floor:.2f}x)"
+                if ok
+                else f"REGRESSION (> {threshold:.0%} below baseline "
+                f"{base_speedup:.2f}x)"
+            )
+        )
+    else:
+        lines.append("  verdict         : no committed batch baseline (informational)")
+    return ok, "\n".join(lines)
+
+
 def workloads_report(current: dict) -> str | None:
     """Per-pattern dispatch-overhead report, or None when never benchmarked.
 
@@ -133,12 +177,17 @@ def main(argv: list[str] | None = None) -> int:
         ok, report = compare(current, baseline, args.threshold)
         print(report)
     else:
-        # Only the workload sweep has run so far; nothing to gate on.
+        # Only the secondary sweeps have run so far; nothing to gate on.
         ok = True
         print(
             "bench_report: current results carry no engine speedup yet "
             "(run `make bench-engine` for the legacy-vs-vector comparison)"
         )
+    batch = batch_report(current, baseline, args.threshold)
+    if batch:
+        batch_ok, report = batch
+        ok = ok and batch_ok
+        print(report)
     workloads = workloads_report(current)
     if workloads:
         print(workloads)
