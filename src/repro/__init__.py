@@ -8,6 +8,9 @@ The package models the full MemPool system at the architectural level:
 * ``repro.interconnect`` — crossbars, radix-4 butterflies and the three
   cluster topologies evaluated in the paper (Top1, Top4, TopH) plus the
   ideal full-crossbar baseline (TopX).
+* ``repro.topologies`` — the pluggable topology registry: the paper's
+  four networks as entries plus parameterized butterfly, mesh, torus,
+  ring, fully-connected and hierarchical families.
 * ``repro.core`` — tiles, memory banks, the cluster, core timing models and
   the cycle-driven simulator.
 * ``repro.addressing`` — the interleaved and hybrid (scrambled) L1 address

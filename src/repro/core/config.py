@@ -22,7 +22,10 @@ from repro.utils.validation import (
     log2_int,
 )
 
-#: Topology identifiers used throughout the package (Section III-C).
+#: The paper's four topology identifiers (Section III-C).  The full
+#: catalogue — these four plus the parameterized families — lives in the
+#: topology registry (:mod:`repro.topologies.registry`), which is what
+#: configuration validation checks against.
 TOPOLOGIES = ("top1", "top4", "toph", "topx")
 
 #: Number of bytes per 32-bit word.
@@ -77,8 +80,16 @@ class MemPoolConfig:
     banks_per_tile: int = 16
     #: Number of local groups used by the hierarchical TopH topology.
     num_groups: int = 4
-    #: Interconnect topology: one of ``top1``, ``top4``, ``toph``, ``topx``.
+    #: Interconnect topology, by registry name: one of the paper's four
+    #: (``top1``, ``top4``, ``toph``, ``topx``) or any family registered in
+    #: :mod:`repro.topologies.registry` (``mesh``, ``torus``, ``ring``,
+    #: ``butterfly``, ``fully_connected``, ``hierarchical``, ...).
     topology: str = "toph"
+    #: Family-specific topology parameters (e.g. ``{"width": 8}`` for
+    #: ``mesh``).  Accepts a mapping or an iterable of ``(name, value)``
+    #: pairs; stored canonically as a sorted tuple of pairs so configurations
+    #: stay hashable, comparable and stable under JSON round trips.
+    topology_params: tuple = ()
     #: Radix of the butterfly networks (4 in the paper).
     butterfly_radix: int = 4
     #: SPM capacity per tile in bytes (16 KiB in the paper -> 1 MiB cluster).
@@ -110,10 +121,16 @@ class MemPoolConfig:
         check_positive("cores_per_tile", self.cores_per_tile)
         check_power_of_two("banks_per_tile", self.banks_per_tile)
         check_positive("num_groups", self.num_groups)
-        if self.topology not in TOPOLOGIES:
-            raise ValueError(
-                f"unknown topology {self.topology!r}; expected one of {TOPOLOGIES}"
-            )
+        raw = self.topology_params
+        pairs = raw.items() if hasattr(raw, "items") else raw
+        params = tuple(sorted((str(key), value) for key, value in pairs))
+        object.__setattr__(self, "topology_params", params)
+        # Validate the (name, params) selection against the topology
+        # registry.  Imported lazily: the registry's family modules import
+        # this one.
+        from repro.topologies.registry import validate_topology
+
+        validate_topology(self.topology, dict(params))
         if self.butterfly_radix < 2:
             raise ValueError("butterfly_radix must be at least 2")
         if self.num_tiles % self.num_groups != 0:
@@ -279,7 +296,11 @@ class MemPoolConfig:
         >>> MemPoolConfig.from_dict(config.to_dict()) == config
         True
         """
-        return asdict(self)
+        data = asdict(self)
+        # Canonical JSON form: topology parameters as a plain mapping (the
+        # sorted-pairs tuple is an internal hashability detail).
+        data["topology_params"] = dict(self.topology_params)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "MemPoolConfig":
@@ -328,9 +349,18 @@ class MemPoolConfig:
     # Convenience constructors
     # ------------------------------------------------------------------ #
 
-    def with_topology(self, topology: str) -> "MemPoolConfig":
-        """Return a copy of this configuration with a different topology."""
-        return replace(self, topology=topology)
+    @property
+    def topology_param_dict(self) -> dict:
+        """The topology parameters as a plain dictionary."""
+        return dict(self.topology_params)
+
+    def with_topology(self, topology: str, **params) -> "MemPoolConfig":
+        """Return a copy with a different topology (and fresh parameters).
+
+        The previous topology's parameters never carry over — each family
+        accepts its own parameter names, so stale knobs would be rejected.
+        """
+        return replace(self, topology=topology, topology_params=tuple(params.items()))
 
     def with_scrambling(self, enabled: bool) -> "MemPoolConfig":
         """Return a copy of this configuration with scrambling toggled."""

@@ -33,8 +33,11 @@ The compiler also checks the *level monotonicity* invariant the vectorized
 level-ordered passes rely on: along every path, register-stage pipeline
 levels strictly increase.  Every topology of the paper satisfies this
 (requests flow master -> boundary -> bank, responses bank -> boundary ->
-master); a hypothetical topology that violated it could change arbitration
-behaviour under the vector engine, so compilation fails loudly instead.
+master), and every family in :mod:`repro.topologies` is constructed to
+satisfy it too (mesh/torus rings allocate one level per hop position, with
+dateline virtual channels breaking the torus wrap cycle); a topology that
+violated it could change arbitration behaviour under the vector engine, so
+compilation fails loudly instead.
 """
 
 from __future__ import annotations
@@ -42,7 +45,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.interconnect.resources import (
-    PIPELINE_LEVELS,
     RegisterStage,
     Resource,
     StageNetwork,
@@ -114,11 +116,16 @@ class CompiledNetwork:
         self.bank_stage_ids = [
             self._stage_index[id(stage)] for stage in topology.bank_stages
         ]
-        self.levels = PIPELINE_LEVELS
+        # The network's own downstream-first level order: exactly
+        # PIPELINE_LEVELS for the paper topologies, and the same order
+        # extended with per-hop levels for the parameterized families of
+        # :mod:`repro.topologies` (mesh/torus rings allocate one level per
+        # hop position, so a path's stages always sort downstream-first).
+        self.levels = network.active_levels
         self.level_orders: dict[int, tuple[tuple[int, ...], ...]] = {}
         self.level_orders_np: dict[int, tuple[np.ndarray, ...]] = {}
         self.level_pool_size: dict[int, int] = {}
-        for level in PIPELINE_LEVELS:
+        for level in self.levels:
             level_stages = network.stages_at_level(level)
             if not level_stages:
                 continue
@@ -152,7 +159,7 @@ class CompiledNetwork:
             np.concatenate(
                 [
                     self.level_orders_np[level][entry]
-                    for level in PIPELINE_LEVELS
+                    for level in self.levels
                     if level in self.level_orders_np
                 ]
             )

@@ -27,6 +27,11 @@ from repro.evaluation.power_table import (
     power_sweep,
     run_power_table,
 )
+from repro.evaluation.topologies import (
+    TopologyCatalogueResult,
+    run_topologies,
+    topologies_sweep,
+)
 from repro.evaluation.workloads import (
     WorkloadCatalogueResult,
     run_workloads,
@@ -56,4 +61,7 @@ __all__ = [
     "run_workloads",
     "WorkloadCatalogueResult",
     "workloads_sweep",
+    "run_topologies",
+    "TopologyCatalogueResult",
+    "topologies_sweep",
 ]

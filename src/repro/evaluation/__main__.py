@@ -76,6 +76,14 @@ def main(argv: list[str] | None = None) -> int:
         help="injection process of the synthetic-traffic experiments "
              "(default: MEMPOOL_INJECTOR or 'poisson')",
     )
+    parser.add_argument(
+        "--topology", metavar="NAME[:K=V,...]", default=None,
+        help="topology of the single-topology experiments (the workload "
+             "catalogue), as a topology registry name with optional "
+             "parameters, e.g. 'mesh:width=8,height=2' (default: "
+             "MEMPOOL_TOPOLOGY or 'toph'; figure sweeps keep their own "
+             "topology axes)",
+    )
     args = parser.parse_args(argv)
 
     selected, error = resolve_selection(args.experiments)
@@ -93,7 +101,18 @@ def main(argv: list[str] | None = None) -> int:
         overrides["pattern"] = args.pattern
     if args.injector:
         overrides["injector"] = args.injector
-    settings = ExperimentSettings(**overrides)
+    if args.topology:
+        overrides["topology"] = args.topology
+    try:
+        settings = ExperimentSettings(**overrides)
+        # Probe unconditionally: the selection may also come from
+        # MEMPOOL_TOPOLOGY, and structural errors (a mesh that does not
+        # tile the cluster) only surface when the family is built.
+        settings.probe_topology()
+    except ValueError as error:
+        # A typo'd --topology spec fails here, before any sweep expands.
+        print(error)
+        return 1
     print(f"MemPool reproduction — experiment scale: {settings.scale_label}\n")
     for name, result, elapsed in run_experiments(selected, settings, executor):
         print(f"=== {name} ({elapsed:.1f} s) ===")

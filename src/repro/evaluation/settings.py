@@ -34,6 +34,10 @@ def _injector_from_environment() -> str:
     return os.environ.get("MEMPOOL_INJECTOR", "poisson") or "poisson"
 
 
+def _topology_from_environment() -> str:
+    return os.environ.get("MEMPOOL_TOPOLOGY", "toph") or "toph"
+
+
 #: Default warm-up window of the synthetic-traffic measurements.  The
 #: point functions in the fig* modules reference these constants for
 #: their keyword defaults, so retuning them here retunes every path.
@@ -70,6 +74,16 @@ class ExperimentSettings:
     #: Injection process of the synthetic-traffic experiments, by
     #: workload registry name; honours ``MEMPOOL_INJECTOR``.
     injector: str = field(default_factory=_injector_from_environment)
+    #: Interconnect topology of the single-topology experiments (the
+    #: ``workloads`` and ``topologies`` catalogues), by topology registry
+    #: name; honours ``MEMPOOL_TOPOLOGY`` and accepts the CLI's
+    #: ``name:k=v`` spec form.  The figure experiments whose sweep *is*
+    #: a topology axis (fig5, fig7, physical) ignore it.
+    topology: str = field(default_factory=_topology_from_environment)
+    #: Family-specific parameters of :attr:`topology` (e.g.
+    #: ``{"width": 8}`` for ``mesh``); filled from the ``name:k=v`` spec
+    #: when one is given.
+    topology_params: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         # Validate here rather than deep inside a sweep worker: a typo'd
@@ -90,9 +104,47 @@ class ExperimentSettings:
                 f"unknown injector {self.injector!r} (MEMPOOL_INJECTOR/"
                 f"--injector); expected one of {available_injectors()}"
             )
+        # Accept the CLI/environment "name:k=v,k2=v2" spec form; bare
+        # names with explicit topology_params pass through unchanged.
+        # parse_topology_spec / validate_topology also reject unknown
+        # names and parameters here, before any sweep expansion.
+        from repro.topologies.registry import parse_topology_spec, validate_topology
+
+        if ":" in self.topology:
+            if self.topology_params:
+                raise ValueError(
+                    "pass topology parameters either in the spec "
+                    f"({self.topology!r}) or as topology_params, not both"
+                )
+            self.topology, self.topology_params = parse_topology_spec(self.topology)
+        else:
+            validate_topology(self.topology, self.topology_params)
+
+    def probe_topology(self) -> None:
+        """Build the selected topology once to surface structural errors early.
+
+        ``__post_init__`` validates the topology *name* and the parameter
+        names/values, but structural constraints — a mesh whose
+        ``width x height`` does not tile the cluster, a hierarchical group
+        count that does not divide it — only surface when the family is
+        built over a concrete configuration.  The CLI front-ends call this
+        once after parsing ``--topology``, so a bad spec fails with one
+        clean message instead of a traceback inside a sweep worker.
+        """
+        from repro.interconnect.topology import build_topology
+
+        build_topology(
+            self.config(self.topology, topology_params=self.topology_params)
+        )
 
     def config(self, topology: str, **overrides) -> MemPoolConfig:
-        """The cluster configuration the experiments run on."""
+        """The cluster configuration the experiments run on.
+
+        ``topology`` is the per-experiment choice (figure sweeps pass their
+        own axis values); experiments that honour the settings-level
+        selection pass ``settings.topology`` and forward
+        ``settings.topology_params`` through ``overrides``.
+        """
         if self.full_scale:
             return MemPoolConfig.full(topology, **overrides)
         return MemPoolConfig.scaled(topology, **overrides)

@@ -1,0 +1,197 @@
+"""Topology catalogue sweep: every registered topology at one fixed load.
+
+Not a figure of the paper — the structural companion of the workload
+catalogue (:mod:`repro.evaluation.workloads`): every topology family
+registered in :mod:`repro.topologies.registry` is driven with the same
+open-loop workload at one injected load, which separates the families by
+the thing that actually distinguishes them — network structure.  The four
+paper topologies anchor the table to Figure 5's known ordering; the new
+families (mesh, torus, ring, fully connected, generalised hierarchical and
+butterfly) extend it across the design space the paper never swept.
+
+It doubles as the end-to-end proof that the topology registry is wired
+through the whole stack: every point goes through the sweep engine, the
+result cache, config validation and the selected timing engine exactly
+like the paper's figures do.
+
+Run it with ``python -m repro.experiments run topologies`` (add
+``--engine vector`` for the fast path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cluster import MemPoolCluster
+from repro.evaluation.settings import (
+    DEFAULT_MEASURE_CYCLES,
+    DEFAULT_SEED,
+    DEFAULT_WARMUP_CYCLES,
+    ExperimentSettings,
+)
+from repro.experiments import Executor, ExperimentSpec, Sweep
+from repro.topologies import available_topologies
+from repro.traffic import TrafficResult, TrafficSimulation
+
+#: Injected load of the catalogue points (request/core/cycle) — inside
+#: every family's stable region at the scaled cluster size, so the table
+#: ranks latency structure rather than saturation artefacts.
+DEFAULT_CATALOGUE_LOAD = 0.15
+
+
+@dataclass
+class TopologyCatalogueResult:
+    """Per-topology traffic measurements at one load."""
+
+    load: float
+    pattern: str
+    injector: str
+    results: dict[str, TrafficResult] = field(default_factory=dict)
+
+    def throughput(self, topology: str) -> float:
+        """Accepted throughput of one topology."""
+        return self.results[topology].throughput
+
+    def latency(self, topology: str) -> float:
+        """Average round-trip latency of one topology."""
+        return self.results[topology].average_latency
+
+    def report(self) -> str:
+        """One table row per registered topology."""
+        header = (
+            f"Topology catalogue: {self.pattern} x {self.injector}, "
+            f"injected load {self.load:g} request/core/cycle"
+        )
+        rows = [
+            f"{'topology':<16} {'throughput':>10} {'avg lat':>8} "
+            f"{'p95':>5} {'max':>5} {'local':>6}"
+        ]
+        for topology, result in sorted(self.results.items()):
+            rows.append(
+                f"{topology:<16} {result.throughput:>10.3f} "
+                f"{result.average_latency:>8.2f} {result.p95_latency:>5d} "
+                f"{result.max_latency:>5d} {result.local_fraction:>6.2f}"
+            )
+        return header + "\n" + "\n".join(rows)
+
+
+def simulate_topology_point(
+    *,
+    topology: str,
+    topology_params: dict | None = None,
+    load: float = DEFAULT_CATALOGUE_LOAD,
+    full_scale: bool = False,
+    warmup_cycles: int = DEFAULT_WARMUP_CYCLES,
+    measure_cycles: int = DEFAULT_MEASURE_CYCLES,
+    seed: int = DEFAULT_SEED,
+    engine: str = "legacy",
+    pattern: str = "uniform",
+    injector: str = "poisson",
+) -> TrafficResult:
+    """Simulate one topology point of the catalogue.
+
+    Module-level point function of the sweep engine: all parameters are
+    picklable primitives (``topology_params`` a plain dict), each call
+    builds its own cluster and workload substreams.
+
+    Parameters
+    ----------
+    topology : str
+        Topology registry name (see :mod:`repro.topologies`).
+    topology_params : dict, optional
+        Family-specific knobs (e.g. ``{"width": 8, "height": 2}``).
+    load : float
+        Injected load in requests per core per cycle.
+    full_scale, warmup_cycles, measure_cycles, seed, engine
+        As in :func:`repro.evaluation.fig5.simulate_fig5_point`.
+    pattern, injector : str
+        Workload registry names driving every topology identically.
+
+    Examples
+    --------
+    >>> result = simulate_topology_point(
+    ...     topology="mesh", load=0.1, warmup_cycles=50, measure_cycles=100)
+    >>> result.throughput > 0.0
+    True
+    """
+    settings = ExperimentSettings(
+        full_scale=full_scale,
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        seed=seed,
+        engine=engine,
+        pattern=pattern,
+        injector=injector,
+        topology=topology,
+        topology_params=dict(topology_params or {}),
+    )
+    config = settings.config(topology, topology_params=settings.topology_params)
+    cluster = MemPoolCluster(config, engine=settings.engine)
+    simulation = TrafficSimulation(
+        cluster, load, pattern=settings.pattern, seed=settings.seed,
+        injector=settings.injector,
+    )
+    return simulation.run(
+        warmup_cycles=settings.warmup_cycles,
+        measure_cycles=settings.measure_cycles,
+    )
+
+
+def topologies_sweep(
+    settings: ExperimentSettings | None = None,
+    topologies: tuple[str, ...] | None = None,
+    load: float = DEFAULT_CATALOGUE_LOAD,
+) -> Sweep:
+    """The registry-driven topology grid of the catalogue as a :class:`Sweep`.
+
+    ``topologies`` defaults to the *entire* registry, so a newly
+    registered family shows up in the catalogue (and the CLI) with no
+    further wiring.  Every point runs its family's *default* parameters
+    (parameters are per-family, so they cannot ride along a shared grid
+    axis); the settings-level ``--topology name:k=v`` selection instead
+    parameterises the single-topology experiments such as the workload
+    catalogue.
+    """
+    settings = settings or ExperimentSettings()
+    names = tuple(topologies if topologies is not None else available_topologies())
+    return Sweep(
+        runner="repro.evaluation.topologies:simulate_topology_point",
+        grid={"topology": names},
+        base={**settings.as_params(), "load": load},
+        name="topologies",
+    )
+
+
+def assemble_topologies(
+    specs: list[ExperimentSpec], results: list[TrafficResult]
+) -> TopologyCatalogueResult:
+    """Fold per-point results back into a :class:`TopologyCatalogueResult`."""
+    catalogue = TopologyCatalogueResult(
+        load=specs[0].params["load"] if specs else DEFAULT_CATALOGUE_LOAD,
+        pattern=specs[0].params.get("pattern", "uniform") if specs else "uniform",
+        injector=specs[0].params.get("injector", "poisson") if specs else "poisson",
+    )
+    for spec, result in zip(specs, results):
+        catalogue.results[spec.params["topology"]] = result
+    return catalogue
+
+
+def run_topologies(
+    settings: ExperimentSettings | None = None,
+    topologies: tuple[str, ...] | None = None,
+    load: float = DEFAULT_CATALOGUE_LOAD,
+    executor: Executor | None = None,
+) -> TopologyCatalogueResult:
+    """Run the topology catalogue sweep.
+
+    Examples
+    --------
+    >>> settings = ExperimentSettings(warmup_cycles=50, measure_cycles=100)
+    >>> result = run_topologies(settings, topologies=("toph", "mesh"), load=0.1)
+    >>> result.throughput("mesh") > 0.0
+    True
+    """
+    sweep = topologies_sweep(settings, topologies, load)
+    specs = sweep.specs()
+    results = (executor or Executor()).run(specs)
+    return assemble_topologies(specs, results)

@@ -76,6 +76,7 @@ def simulate_workload_point(
     injector: str,
     load: float = DEFAULT_CATALOGUE_LOAD,
     topology: str = DEFAULT_CATALOGUE_TOPOLOGY,
+    topology_params: dict | None = None,
     full_scale: bool = False,
     warmup_cycles: int = DEFAULT_WARMUP_CYCLES,
     measure_cycles: int = DEFAULT_MEASURE_CYCLES,
@@ -95,7 +96,10 @@ def simulate_workload_point(
     load : float
         Injected load in requests per core per cycle.
     topology : str
-        Interconnect topology to drive.
+        Interconnect topology to drive, by topology registry name
+        (see :mod:`repro.topologies`).
+    topology_params : dict, optional
+        Family-specific topology knobs (e.g. ``{"width": 8}``).
     full_scale, warmup_cycles, measure_cycles, seed, engine
         As in :func:`repro.evaluation.fig5.simulate_fig5_point`.
 
@@ -115,8 +119,13 @@ def simulate_workload_point(
         engine=engine,
         pattern=pattern,
         injector=injector,
+        topology=topology,
+        topology_params=dict(topology_params or {}),
     )
-    cluster = MemPoolCluster(settings.config(topology), engine=settings.engine)
+    cluster = MemPoolCluster(
+        settings.config(topology, topology_params=settings.topology_params),
+        engine=settings.engine,
+    )
     simulation = TrafficSimulation(
         cluster, load, pattern=settings.pattern, seed=settings.seed,
         injector=settings.injector,
@@ -132,19 +141,29 @@ def workloads_sweep(
     patterns: tuple[str, ...] | None = None,
     injectors: tuple[str, ...] | None = None,
     load: float = DEFAULT_CATALOGUE_LOAD,
-    topology: str = DEFAULT_CATALOGUE_TOPOLOGY,
+    topology: str | None = None,
+    topology_params: dict | None = None,
 ) -> Sweep:
     """The (pattern x injector) grid of the workload catalogue as a :class:`Sweep`.
 
     ``patterns`` / ``injectors`` default to the *entire* registry, so a
     newly registered workload shows up in the catalogue (and the CLI)
-    with no further wiring.
+    with no further wiring.  ``topology`` (with ``topology_params``)
+    defaults to the settings-level selection (``MEMPOOL_TOPOLOGY`` /
+    ``--topology name:k=v``), so the catalogue runs on any registered
+    topology family — programmatic callers pass the same pair, e.g.
+    ``workloads_sweep(topology="mesh", topology_params={"width": 8})``.
     """
     settings = settings or ExperimentSettings()
     base = settings.as_params()
     # The grid enumerates the workload axes itself.
     base.pop("pattern", None)
     base.pop("injector", None)
+    if topology is None:
+        topology = settings.topology
+        if topology_params is None:
+            topology_params = dict(settings.topology_params)
+    topology_params = dict(topology_params or {})
     return Sweep(
         runner="repro.evaluation.workloads:simulate_workload_point",
         grid={
@@ -153,7 +172,12 @@ def workloads_sweep(
                 injectors if injectors is not None else available_injectors()
             ),
         },
-        base={**base, "load": load, "topology": topology},
+        base={
+            **base,
+            "load": load,
+            "topology": topology,
+            "topology_params": topology_params,
+        },
         name="workloads",
     )
 
@@ -176,7 +200,8 @@ def run_workloads(
     patterns: tuple[str, ...] | None = None,
     injectors: tuple[str, ...] | None = None,
     load: float = DEFAULT_CATALOGUE_LOAD,
-    topology: str = DEFAULT_CATALOGUE_TOPOLOGY,
+    topology: str | None = None,
+    topology_params: dict | None = None,
     executor: Executor | None = None,
 ) -> WorkloadCatalogueResult:
     """Run the workload catalogue sweep.
@@ -189,7 +214,9 @@ def run_workloads(
     >>> result.throughput("uniform", "poisson") > 0.0
     True
     """
-    sweep = workloads_sweep(settings, patterns, injectors, load, topology)
+    sweep = workloads_sweep(
+        settings, patterns, injectors, load, topology, topology_params
+    )
     specs = sweep.specs()
     results = (executor or Executor()).run(specs)
     return assemble_workloads(specs, results)

@@ -7,8 +7,11 @@ Usage::
     python -m repro.experiments run --no-cache      # force recomputation
     python -m repro.experiments run fig5 --pattern tornado --injector bursty
     python -m repro.experiments run workloads --engine vector  # full catalogue
+    python -m repro.experiments run topologies      # every topology family
+    python -m repro.experiments run workloads --topology mesh:width=8,height=2
     python -m repro.experiments list                # registered experiments
     python -m repro.experiments workloads           # workload catalogue
+    python -m repro.experiments topologies          # topology catalogue
     python -m repro.experiments clean               # drop the result cache
 
 ``run`` executes the selected experiments through the shared
@@ -103,10 +106,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="injection process of the synthetic-traffic experiments "
              "(default: MEMPOOL_INJECTOR or 'poisson')",
     )
+    run.add_argument(
+        "--topology",
+        metavar="NAME[:K=V,...]",
+        default=None,
+        help="topology of the single-topology experiments (the workload "
+             "catalogue), as a topology registry name with optional "
+             "parameters, e.g. 'mesh:width=8,height=2' (default: "
+             "MEMPOOL_TOPOLOGY or 'toph'; figure sweeps keep their own "
+             "topology axes)",
+    )
 
     commands.add_parser("list", help="list the registered experiments")
     commands.add_parser(
         "workloads", help="list the registered workload patterns and injectors"
+    )
+    commands.add_parser(
+        "topologies", help="list the registered interconnect topology families"
     )
 
     clean = commands.add_parser("clean", help="delete every cached result")
@@ -134,6 +150,16 @@ def _command_workloads() -> int:
         print(f"  {entry.name:<16} {entry.summary}  [knobs: {knobs}]")
     print("injection processes:")
     for entry in injector_catalogue():
+        knobs = ", ".join(sorted(entry.params)) or "-"
+        print(f"  {entry.name:<16} {entry.summary}  [knobs: {knobs}]")
+    return 0
+
+
+def _command_topologies() -> int:
+    from repro.topologies import topology_catalogue
+
+    print("interconnect topologies:")
+    for entry in topology_catalogue():
         knobs = ", ".join(sorted(entry.params)) or "-"
         print(f"  {entry.name:<16} {entry.summary}  [knobs: {knobs}]")
     return 0
@@ -167,7 +193,18 @@ def _command_run(args: argparse.Namespace) -> int:
         overrides["pattern"] = args.pattern
     if args.injector:
         overrides["injector"] = args.injector
-    settings = ExperimentSettings(**overrides)
+    if args.topology:
+        overrides["topology"] = args.topology
+    try:
+        settings = ExperimentSettings(**overrides)
+        # Probe unconditionally: the selection may also come from
+        # MEMPOOL_TOPOLOGY, and structural errors (a mesh that does not
+        # tile the cluster) only surface when the family is built.
+        settings.probe_topology()
+    except ValueError as error:
+        # A typo'd --topology spec fails here, before any sweep expands.
+        print(error)
+        return 1
     print(f"MemPool reproduction — experiment scale: {settings.scale_label}\n")
     for name, result, _elapsed in run_experiments(selected, settings, executor):
         print(f"=== {name} ({executor.last_report.summary()}) ===")
@@ -190,6 +227,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_list()
     if args.command == "workloads":
         return _command_workloads()
+    if args.command == "topologies":
+        return _command_topologies()
     if args.command == "clean":
         return _command_clean(args.cache_dir)
     return _command_run(args)

@@ -56,13 +56,14 @@ class TrafficAdapter:
 
         Two specs share a group only when they agree on everything that
         the shared engine state depends on: the cluster configuration
-        (topology + scale).  The caller prefixes the runner path, and
-        measurement windows stay per-member
+        (topology name + family parameters + scale).  The caller prefixes
+        the runner path, and measurement windows stay per-member
         (:meth:`repro.engine.batch.TrafficBatch.run` supports per-sim
         horizons), so neither is part of this key.
         """
         return (
             self.topology(params),
+            tuple(sorted((params.get("topology_params") or {}).items())),
             bool(params.get("full_scale", False)),
         )
 
@@ -123,6 +124,19 @@ def _workload_simulation(params: dict, cluster) -> Any:
 
 
 #: Adapters of the batchable point functions, keyed by runner path.
+def _topology_simulation(params: dict, cluster) -> Any:
+    """Member builder mirroring :func:`repro.evaluation.topologies.simulate_topology_point`."""
+    from repro.traffic.simulation import TrafficSimulation
+
+    return TrafficSimulation(
+        cluster,
+        params["load"],
+        pattern=params.get("pattern", "uniform"),
+        seed=params.get("seed", _default_seed()),
+        injector=params.get("injector", "poisson"),
+    )
+
+
 BATCHABLE_RUNNERS: dict[str, TrafficAdapter] = {
     "repro.evaluation.fig5:simulate_fig5_point": TrafficAdapter(
         topology=lambda params: params["topology"],
@@ -135,6 +149,10 @@ BATCHABLE_RUNNERS: dict[str, TrafficAdapter] = {
     "repro.evaluation.workloads:simulate_workload_point": TrafficAdapter(
         topology=lambda params: params["topology"],
         build_simulation=_workload_simulation,
+    ),
+    "repro.evaluation.topologies:simulate_topology_point": TrafficAdapter(
+        topology=lambda params: params["topology"],
+        build_simulation=_topology_simulation,
     ),
 }
 
@@ -233,7 +251,11 @@ class BatchRunner:
             full_scale=bool(first.params.get("full_scale", False)), engine="batch"
         )
         cluster = MemPoolCluster(
-            settings.config(adapter.topology(first.params)), engine="batch"
+            settings.config(
+                adapter.topology(first.params),
+                topology_params=first.params.get("topology_params") or {},
+            ),
+            engine="batch",
         )
         simulations = []
         warmups = []

@@ -27,6 +27,7 @@ from repro.evaluation import (
     fig10,
     physical_tables,
     power_table,
+    topologies,
     workloads,
 )
 from repro.evaluation.settings import ExperimentSettings
@@ -179,8 +180,14 @@ EXPERIMENTS: dict[str, ExperimentDefinition] = {
     ),
     "workloads": ExperimentDefinition(
         name="workloads",
-        title="workload catalogue: every pattern x injector on TopH",
+        title="workload catalogue: every pattern x injector on one topology",
         build_sweep=workloads.workloads_sweep,
         assemble=workloads.assemble_workloads,
+    ),
+    "topologies": ExperimentDefinition(
+        name="topologies",
+        title="topology catalogue: every registered family at one load",
+        build_sweep=topologies.topologies_sweep,
+        assemble=topologies.assemble_topologies,
     ),
 }

@@ -29,16 +29,24 @@ from collections.abc import Callable, Sequence
 from repro.utils.rotation import PermutationSchedule
 
 #: Pipeline levels used to order register-stage processing (downstream first).
+#: These five are the levels of the paper's four topologies; levels are not
+#: restricted to them — any integer is a valid stage level, and the network
+#: always processes levels in descending numeric order.  Multi-hop topology
+#: families (:mod:`repro.topologies.families`) allocate their own level
+#: ranges below :data:`LEVEL_MASTER_REQ` (request hops) and above
+#: :data:`LEVEL_MASTER_RESP` (response hops); the bank level is shared by
+#: every topology.
 LEVEL_MASTER_REQ = 1
 LEVEL_BOUNDARY_REQ = 2
 LEVEL_BANK = 3
 LEVEL_BOUNDARY_RESP = 4
 LEVEL_MASTER_RESP = 5
 
-#: Processing order of :meth:`StageNetwork.advance`: most downstream level
-#: first, so a buffer slot freed this cycle can be reused by the flit behind
-#: it.  The vectorized engine (:mod:`repro.engine`) compiles its level-ordered
-#: passes from this same tuple, so the two engines stay cycle-equivalent.
+#: Processing order of :meth:`StageNetwork.advance` for the paper's levels:
+#: most downstream level first, so a buffer slot freed this cycle can be
+#: reused by the flit behind it.  The vectorized engine (:mod:`repro.engine`)
+#: compiles its level-ordered passes from the same descending-level order,
+#: so the two engines stay cycle-equivalent.
 PIPELINE_LEVELS = (
     LEVEL_MASTER_RESP,
     LEVEL_BOUNDARY_RESP,
@@ -192,6 +200,12 @@ class StageNetwork:
         self._stages_by_level: dict[int, list[RegisterStage]] = {
             level: [] for level in _ALL_LEVELS
         }
+        #: Registered levels in processing order (descending).  Seeded with
+        #: the paper's five levels; :meth:`add_stage` extends it on demand,
+        #: keeping the descending order, so topologies with custom level
+        #: ranges (:mod:`repro.topologies.families`) slot in transparently
+        #: while the paper topologies keep the exact historical order.
+        self._level_order: tuple[int, ...] = _ALL_LEVELS
         self._all_stages: list[RegisterStage] = []
         self._all_arbiters: list[ArbitrationPoint] = []
         self._arbitration_seed = arbitration_seed
@@ -208,9 +222,18 @@ class StageNetwork:
     # ------------------------------------------------------------------ #
 
     def add_stage(self, stage: RegisterStage) -> RegisterStage:
-        """Register a stage with the engine (done by the topology builder)."""
+        """Register a stage with the engine (done by the topology builder).
+
+        Any integer level is accepted: levels outside the paper's five are
+        added to the processing order at their descending-sorted position,
+        which is what lets arbitrary topology families define per-hop
+        register boundaries (see :mod:`repro.topologies.families`).
+        """
         if stage.level not in self._stages_by_level:
-            raise ValueError(f"unknown pipeline level {stage.level}")
+            self._stages_by_level[stage.level] = []
+            self._level_order = tuple(
+                sorted(self._stages_by_level, reverse=True)
+            )
         self._stages_by_level[stage.level].append(stage)
         self._all_stages.append(stage)
         return stage
@@ -245,6 +268,19 @@ class StageNetwork:
             raise ValueError(f"unknown pipeline level {level}")
         return tuple(self._stages_by_level[level])
 
+    @property
+    def active_levels(self) -> tuple[int, ...]:
+        """Levels that hold at least one stage, most downstream first.
+
+        This is the level iteration order of :meth:`advance`, and the order
+        an alternative engine must compile its passes in
+        (:class:`repro.engine.compile.CompiledNetwork` consumes it).  For
+        the paper's four topologies it is exactly :data:`PIPELINE_LEVELS`.
+        """
+        return tuple(
+            level for level in self._level_order if self._stages_by_level[level]
+        )
+
     # ------------------------------------------------------------------ #
     # Per-cycle operation
     # ------------------------------------------------------------------ #
@@ -267,7 +303,7 @@ class StageNetwork:
         arbitration between equally-placed contenders.
         """
         completed: list[Flit] = []
-        for level in _ALL_LEVELS:
+        for level in self._level_order:
             stages = self._stages_by_level[level]
             count = len(stages)
             if count == 0:

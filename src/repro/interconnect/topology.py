@@ -121,6 +121,18 @@ class ClusterTopology:
         path = self.build_path(core_id, bank_id, needs_response=True)
         return sum(1 for resource in path if isinstance(resource, RegisterStage))
 
+    def analytic_round_trip_latency(self, core_id: int, bank_id: int) -> int:
+        """Closed-form zero-load round-trip latency of an uncontended load.
+
+        Every registered topology implements this from coordinates alone
+        (no path construction); the test suite asserts it equals
+        :meth:`zero_load_latency` — the register count of the built path —
+        for every topology in the registry, which pins the paper's
+        1/3/5-cycle invariants and the distance formulas of the new
+        families alike.
+        """
+        raise NotImplementedError
+
     def remote_ports_per_tile(self) -> int:
         """Number of remote (master) request ports per tile — ``K`` in the paper."""
         raise NotImplementedError
@@ -160,6 +172,10 @@ class IdealTopology(ClusterTopology):
         # Every core reaches every bank directly: conceptually one port per
         # core towards the whole memory pool.
         return self.config.cores_per_tile
+
+    def analytic_round_trip_latency(self, core_id: int, bank_id: int) -> int:
+        """Always the single bank cycle: the ideal crossbar adds nothing."""
+        return 1
 
 
 class Top1Topology(ClusterTopology):
@@ -227,6 +243,12 @@ class Top1Topology(ClusterTopology):
     def remote_ports_per_tile(self) -> int:
         return 1
 
+    def analytic_round_trip_latency(self, core_id: int, bank_id: int) -> int:
+        """1 cycle local, 5 cycles remote (master + middle + bank + back)."""
+        if self.config.tile_of_core(core_id) == self.config.tile_of_bank(bank_id):
+            return 1
+        return 5
+
 
 class Top4Topology(ClusterTopology):
     """Top4: four parallel NxN butterflies, one per core of each tile (K=4)."""
@@ -289,6 +311,12 @@ class Top4Topology(ClusterTopology):
 
     def remote_ports_per_tile(self) -> int:
         return self.config.cores_per_tile
+
+    def analytic_round_trip_latency(self, core_id: int, bank_id: int) -> int:
+        """1 cycle local, 5 cycles remote (same shape as Top1, K lanes)."""
+        if self.config.tile_of_core(core_id) == self.config.tile_of_bank(bank_id):
+            return 1
+        return 5
 
 
 class TopHTopology(ClusterTopology):
@@ -431,19 +459,31 @@ class TopHTopology(ClusterTopology):
     def remote_ports_per_tile(self) -> int:
         return self.num_directions
 
-
-_TOPOLOGY_CLASSES = {
-    "top1": Top1Topology,
-    "top4": Top4Topology,
-    "toph": TopHTopology,
-    "topx": IdealTopology,
-}
+    def analytic_round_trip_latency(self, core_id: int, bank_id: int) -> int:
+        """The paper's headline latencies: 1 local, 3 in-group, 5 remote."""
+        config = self.config
+        src_tile = config.tile_of_core(core_id)
+        dst_tile = config.tile_of_bank(bank_id)
+        if src_tile == dst_tile:
+            return 1
+        if config.group_of_tile(src_tile) == config.group_of_tile(dst_tile):
+            return 3
+        return 5
 
 
 def build_topology(config: MemPoolConfig) -> ClusterTopology:
-    """Instantiate the topology selected by ``config.topology``."""
-    try:
-        topology_class = _TOPOLOGY_CLASSES[config.topology]
-    except KeyError as error:
-        raise ValueError(f"unknown topology {config.topology!r}") from error
-    return topology_class(config)
+    """Instantiate the topology selected by ``config.topology``.
+
+    Resolution goes through the topology registry
+    (:mod:`repro.topologies.registry`), so any registered family — the
+    four paper topologies above or the parameterized families of
+    :mod:`repro.topologies.families` — builds here, with
+    ``config.topology_params`` forwarded as the family's constructor
+    parameters.  Imported lazily: the registry module imports this one
+    for the paper classes.
+    """
+    from repro.topologies.registry import make_topology
+
+    return make_topology(
+        config.topology, config, **dict(config.topology_params)
+    )

@@ -118,8 +118,18 @@ class TestIndexHelpers:
 
 class TestValidation:
     def test_unknown_topology_rejected(self):
+        # "mesh"/"ring" & friends are valid registry names now; only a name
+        # absent from the topology registry is rejected.
         with pytest.raises(ValueError, match="topology"):
-            MemPoolConfig(topology="mesh")
+            MemPoolConfig(topology="warp")
+
+    def test_registered_family_accepted_with_params(self):
+        config = MemPoolConfig(topology="mesh", topology_params={"width": 8})
+        assert config.topology_params == (("width", 8),)
+
+    def test_unknown_topology_param_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            MemPoolConfig(topology="mesh", topology_params={"depth": 3})
 
     def test_non_power_of_two_tiles_rejected(self):
         with pytest.raises(ValueError):

@@ -283,6 +283,7 @@ class TestRegistry:
     def test_every_experiment_is_registered(self):
         assert set(EXPERIMENTS) == {
             "fig5", "fig6", "fig7", "fig10", "power", "physical", "workloads",
+            "topologies",
         }
 
     def test_definitions_build_consistent_sweeps(self):

@@ -190,10 +190,16 @@ class TestStageNetworkMovement:
         with pytest.raises(ValueError):
             network.try_inject(flit, 1)
 
-    def test_unknown_level_rejected(self):
+    def test_custom_levels_slot_into_descending_order(self):
+        # Arbitrary integer levels are valid (the parameterized topology
+        # families use per-hop levels outside the paper's five); they must
+        # appear in the processing order at their descending position.
         network = StageNetwork()
-        with pytest.raises(ValueError):
-            network.add_stage(RegisterStage("weird", level=42))
+        network.add_stage(RegisterStage("hop", level=42))
+        network.add_stage(RegisterStage("early", level=-3))
+        network.add_stage(RegisterStage("bank", level=LEVEL_BANK))
+        assert network.active_levels == (42, LEVEL_BANK, -3)
+        assert network.stages_at_level(42)[0].name == "hop"
 
     def test_occupancy_reports_buffered_flits(self):
         network, stages = make_network_with_chain()

@@ -88,6 +88,44 @@ class TestBatchReport:
         assert ok  # floor is 2.4 * 0.8 = 1.92
 
 
+class TestTopologiesReport:
+    """The per-topology section of the report."""
+
+    def test_absent_section_is_none(self):
+        assert bench_report.topologies_report(_engine_payload(3.0), None, 0.2) is None
+
+    def test_no_baseline_entry_is_informational(self):
+        current = {"topologies": {"mesh": {"speedup": 2.5, "compile_seconds": 0.1}}}
+        ok, report = bench_report.topologies_report(current, _engine_payload(3.0), 0.2)
+        assert ok
+        assert "informational" in report
+
+    def test_each_family_is_gated_independently(self):
+        current = {
+            "topologies": {
+                "mesh": {"speedup": 2.5},
+                "torus": {"speedup": 1.0},
+            }
+        }
+        baseline = {
+            "topologies": {
+                "mesh": {"speedup": 2.6},
+                "torus": {"speedup": 3.0},
+            }
+        }
+        ok, report = bench_report.topologies_report(current, baseline, 0.2)
+        assert not ok  # torus regressed even though mesh is fine
+        assert "REGRESSION" in report
+        assert "OK" in report
+
+    def test_benchmark_key_is_not_a_family(self):
+        current = {"topologies": {"benchmark": "sweep", "mesh": {"speedup": 2.5}}}
+        baseline = {"topologies": {"mesh": {"speedup": 2.5}}}
+        ok, report = bench_report.topologies_report(current, baseline, 0.2)
+        assert ok
+        assert "sweep" in report
+
+
 class TestBenchReportMain:
     """Exit codes of the command-line entry point."""
 
@@ -134,6 +172,19 @@ class TestBenchReportMain:
         current_payload["batch"] = {"speedup": 1.0}
         baseline_payload = _engine_payload(3.0)
         baseline_payload["batch"] = {"speedup": 2.4}
+        current.write_text(json.dumps(current_payload))
+        baseline.write_text(json.dumps(baseline_payload))
+        assert bench_report.main(
+            ["--current", str(current), "--baseline", str(baseline)]
+        ) == 1
+
+    def test_topology_regression_alone_exits_one(self, tmp_path):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        current_payload = _engine_payload(3.0)
+        current_payload["topologies"] = {"mesh": {"speedup": 1.0}}
+        baseline_payload = _engine_payload(3.0)
+        baseline_payload["topologies"] = {"mesh": {"speedup": 2.6}}
         current.write_text(json.dumps(current_payload))
         baseline.write_text(json.dumps(baseline_payload))
         assert bench_report.main(

@@ -31,10 +31,16 @@ class TestFactory:
             assert isinstance(topology, expected)
 
     def test_unknown_topology_rejected(self):
+        # Sneak an unregistered name past construction-time validation;
+        # the registry lookup inside build_topology must still reject it.
         config = MemPoolConfig.tiny()
-        object.__setattr__(config, "topology", "ring")
-        with pytest.raises(ValueError):
+        object.__setattr__(config, "topology", "warp")
+        with pytest.raises(ValueError, match="unknown topology"):
             build_topology(config)
+
+    def test_registered_family_builds_through_the_factory(self):
+        config = MemPoolConfig.tiny("ring")
+        assert build_topology(config).name == "ring"
 
 
 class TestZeroLoadLatency:

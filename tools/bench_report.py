@@ -116,6 +116,49 @@ def batch_report(
     return ok, "\n".join(lines)
 
 
+def topologies_report(
+    current: dict, baseline: dict | None, threshold: float
+) -> tuple[bool, str] | None:
+    """Per-topology engine-speedup report and gate, or None when never run.
+
+    ``benchmarks/test_perf_topologies.py`` merges a ``"topologies"``
+    section into the current results file (one entry per gated family,
+    e.g. mesh and torus).  Like the engine comparison, the gated signal is
+    each family's legacy-vs-vector advance *speedup ratio*, compared
+    against the committed baseline's entry for the same family when one
+    exists; families without a baseline entry are informational.
+    """
+    section = current.get("topologies")
+    if not section:
+        return None
+    base_section = (baseline or {}).get("topologies") or {}
+    lines = [f"topology benchmark: {section.get('benchmark', 'topology sweep')}"]
+    ok = True
+    for name in sorted(section):
+        if name == "benchmark":
+            continue
+        entry = section[name]
+        speedup = entry.get("speedup", 0.0)
+        detail = (
+            f"  {name:<8} advance : {speedup:.2f}x vector speedup "
+            f"(compile {entry.get('compile_seconds', 0)}s)"
+        )
+        base_entry = base_section.get(name)
+        if base_entry and base_entry.get("speedup"):
+            base_speedup = base_entry["speedup"]
+            floor = base_speedup * (1.0 - threshold)
+            entry_ok = speedup >= floor
+            ok = ok and entry_ok
+            detail += (
+                f" — {'OK' if entry_ok else 'REGRESSION'} "
+                f"(baseline {base_speedup:.2f}x, floor {floor:.2f}x)"
+            )
+        else:
+            detail += " — no committed baseline (informational)"
+        lines.append(detail)
+    return ok, "\n".join(lines)
+
+
 def workloads_report(current: dict) -> str | None:
     """Per-pattern dispatch-overhead report, or None when never benchmarked.
 
@@ -187,6 +230,11 @@ def main(argv: list[str] | None = None) -> int:
     if batch:
         batch_ok, report = batch
         ok = ok and batch_ok
+        print(report)
+    topologies = topologies_report(current, baseline, args.threshold)
+    if topologies:
+        topologies_ok, report = topologies
+        ok = ok and topologies_ok
         print(report)
     workloads = workloads_report(current)
     if workloads:
