@@ -5,6 +5,9 @@
 #   make coverage   tier-1 suite under pytest-cov with an enforced threshold
 #   make bench      benchmark harness (regenerates every figure/table)
 #   make bench-engine  engine + batch + topology benchmarks + enforced report
+#   make fuzz       bounded differential fuzz of the three engines
+#   make validate   statistical golden-band validation (repro.validation)
+#   make validate-update  re-measure and re-commit the golden bands
 #   make lint       ruff (pyproject.toml config) when available, else docs-lint
 #   make docs-lint  docstring lint over the public API
 #   make figures    regenerate all paper figures through the sweep engine
@@ -13,6 +16,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 WORKERS ?= 1
+# Sampled configurations per differential-fuzz property (`make fuzz`):
+# 25 keeps the smoke run to seconds; CI's nightly job raises it to dig.
+FUZZ_BUDGET ?= 25
 # Enforced line-coverage floor of `make coverage` (the CI coverage job):
 # the tier-1 suite measured ~95% line coverage of src/repro when the gate
 # was introduced; the floor sits a few points below so platform- and
@@ -21,7 +27,8 @@ WORKERS ?= 1
 # make a failing build pass.
 COV_MIN ?= 92
 
-.PHONY: test ci coverage bench bench-engine lint docs-lint figures clean-cache
+.PHONY: test ci coverage bench bench-engine fuzz validate validate-update \
+	lint docs-lint figures clean-cache
 
 # The trailing bench report is informational in the test flow: it runs
 # whether or not pytest passed, but the target's exit status is always
@@ -62,6 +69,23 @@ bench-engine:
 		benchmarks/test_perf_topologies.py
 	$(PYTHON) tools/bench_report.py
 
+# Property-based differential fuzzing: FUZZ_BUDGET configurations sampled
+# from the registries' whole space, each run on all three engines and
+# compared flit for flit.  Failures shrink and print a one-line
+# `python -m repro.validation --replay '<spec>'` reproducer.
+fuzz:
+	FUZZ_BUDGET=$(FUZZ_BUDGET) $(PYTHON) -m pytest -x -q \
+		tests/test_fuzz_differential.py
+
+# Severity-banded statistical validation against the committed goldens
+# (benchmarks/GOLDEN_validation.json); exits 1 on a reject-band deviation
+# and writes benchmarks/VALIDATION_report.json for the CI artifact.
+validate:
+	$(PYTHON) -m repro.experiments validate
+
+validate-update:
+	$(PYTHON) -m repro.experiments validate --update
+
 # Full ruff lint (E/F + the D1 docstring rules, configured in
 # pyproject.toml); falls back to the docstring subset on machines
 # without ruff.
@@ -80,15 +104,18 @@ docs-lint:
 	@if $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check --select D100,D101,D102,D103,D104 \
 			src/repro/experiments src/repro/evaluation \
-			src/repro/engine src/repro/workloads src/repro/topologies tools; \
+			src/repro/engine src/repro/workloads src/repro/topologies \
+			src/repro/validation tools; \
 	elif $(PYTHON) -c "import pydocstyle" >/dev/null 2>&1; then \
 		$(PYTHON) -m pydocstyle --select D100,D101,D102,D103,D104 \
 			src/repro/experiments src/repro/evaluation src/repro/engine \
-			src/repro/workloads src/repro/topologies tools; \
+			src/repro/workloads src/repro/topologies \
+			src/repro/validation tools; \
 	else \
 		$(PYTHON) tools/docs_lint.py src/repro/experiments src/repro/evaluation \
 			src/repro/traffic src/repro/kernels src/repro/engine \
-			src/repro/workloads src/repro/topologies tools; \
+			src/repro/workloads src/repro/topologies \
+			src/repro/validation tools; \
 	fi
 
 figures:

@@ -33,7 +33,12 @@ Examples
 [24, 54]
 """
 
-from repro.experiments.batch import BATCHABLE_RUNNERS, BatchRunner, TrafficAdapter
+from repro.experiments.batch import (
+    BATCHABLE_RUNNERS,
+    BatchRunner,
+    TrafficAdapter,
+    plan_batches,
+)
 from repro.experiments.cache import MISS, CacheStats, ResultCache, default_cache_dir
 from repro.experiments.executor import ExecutionReport, Executor, run_sweep
 from repro.experiments.spec import (
@@ -49,6 +54,7 @@ __all__ = [
     "MISS",
     "BATCHABLE_RUNNERS",
     "BatchRunner",
+    "plan_batches",
     "TrafficAdapter",
     "CacheStats",
     "ResultCache",

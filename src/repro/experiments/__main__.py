@@ -12,6 +12,8 @@ Usage::
     python -m repro.experiments list                # registered experiments
     python -m repro.experiments workloads           # workload catalogue
     python -m repro.experiments topologies          # topology catalogue
+    python -m repro.experiments validate            # check golden bands
+    python -m repro.experiments validate --update   # re-commit the goldens
     python -m repro.experiments clean               # drop the result cache
 
 ``run`` executes the selected experiments through the shared
@@ -125,6 +127,50 @@ def build_parser() -> argparse.ArgumentParser:
         "topologies", help="list the registered interconnect topology families"
     )
 
+    validate = commands.add_parser(
+        "validate",
+        help="validate results against the committed golden bands",
+        description="Re-measure every golden case over its seed batch and "
+                    "classify each metric's deviation into severity bands "
+                    "(see repro.validation).",
+    )
+    validate.add_argument(
+        "--golden",
+        default=None,
+        help="golden file to validate against (default: "
+             "benchmarks/GOLDEN_validation.json)",
+    )
+    validate.add_argument(
+        "--update",
+        action="store_true",
+        help="re-measure the default corpus and overwrite the golden file "
+             "instead of validating",
+    )
+    validate.add_argument(
+        "--report",
+        default=None,
+        help="where to write the JSON report (default: "
+             "benchmarks/VALIDATION_report.json; 'none' skips it)",
+    )
+    validate.add_argument(
+        "--bands",
+        default=None,
+        metavar="OK,MINOR,MODERATE,SEVERE",
+        help="override the four band edges, e.g. '0.01,0.03,0.08,0.2'",
+    )
+    validate.add_argument(
+        "--warn-from",
+        default=None,
+        metavar="SEVERITY",
+        help="first severity that warns (default: from the golden file)",
+    )
+    validate.add_argument(
+        "--reject-from",
+        default=None,
+        metavar="SEVERITY",
+        help="first severity that rejects (default: from the golden file)",
+    )
+
     clean = commands.add_parser("clean", help="delete every cached result")
     clean.add_argument(
         "--cache-dir",
@@ -171,6 +217,65 @@ def _command_clean(cache_dir: str | None) -> int:
     print(f"removed {removed} cached result{'s' if removed != 1 else ''} "
           f"from {cache.root}")
     return 0
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.validation import (
+        GOLDEN_PATH,
+        REPORT_PATH,
+        BandPolicy,
+        validate_goldens,
+        write_goldens,
+    )
+
+    golden_path = Path(args.golden) if args.golden else GOLDEN_PATH
+    try:
+        if args.update:
+            policy = None
+            if args.bands or args.warn_from or args.reject_from:
+                policy = BandPolicy.from_spec(
+                    args.bands, args.warn_from, args.reject_from
+                )
+            document = write_goldens(golden_path, policy=policy)
+            print(
+                f"committed {len(document['cases'])} golden cases to "
+                f"{golden_path}"
+            )
+            return 0
+        policy = None
+        if args.bands or args.warn_from or args.reject_from:
+            # Partial overrides fall back to the defaults of BandPolicy —
+            # load the file's policy first so unspecified knobs keep it.
+            from repro.validation import load_goldens
+
+            _, file_policy = load_goldens(golden_path)
+            base = file_policy.to_dict()
+            override = BandPolicy.from_spec(
+                args.bands, args.warn_from, args.reject_from
+            ).to_dict()
+            if args.bands is None:
+                override["bands"] = base["bands"]
+            if args.warn_from is None:
+                override["warn_from"] = base["warn_from"]
+            if args.reject_from is None:
+                override["reject_from"] = base["reject_from"]
+            policy = BandPolicy.from_dict(override)
+        report = validate_goldens(golden_path, policy=policy)
+    except ValueError as error:
+        print(error)
+        return 1
+    print(report.report())
+    if args.report != "none":
+        report_path = Path(args.report) if args.report else REPORT_PATH
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report written to {report_path}")
+    return report.exit_code
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -229,6 +334,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_workloads()
     if args.command == "topologies":
         return _command_topologies()
+    if args.command == "validate":
+        return _command_validate(args)
     if args.command == "clean":
         return _command_clean(args.cache_dir)
     return _command_run(args)

@@ -157,6 +157,30 @@ BATCHABLE_RUNNERS: dict[str, TrafficAdapter] = {
 }
 
 
+def plan_batches(specs: Iterable[ExperimentSpec]) -> list[list[int]]:
+    """The index groups a :class:`BatchRunner` would form over ``specs``.
+
+    Pure planning — no cache consultation, no execution: specs sharing a
+    batchable runner and a compatible cluster configuration (same
+    topology, family parameters and scale) group together in first-seen
+    order; every non-batchable spec is its own singleton group.  At run
+    time singleton groups fall through to the plain executor, so this is
+    also the cheap way for tests (and curious users) to see how a
+    heterogeneous sweep will actually batch.
+    """
+    groups: dict[tuple, list[int]] = {}
+    order: list[tuple] = []
+    for index, spec in enumerate(specs):
+        adapter = BATCHABLE_RUNNERS.get(spec.runner)
+        if adapter is None:
+            key = ("__unbatchable__", index)
+        else:
+            key = (spec.runner,) + adapter.group_key(spec.params)
+        if key not in groups:
+            order.append(key)
+        groups.setdefault(key, []).append(index)
+    return [groups[key] for key in order]
+
 
 class BatchRunner:
     """Executor front-end that batches compatible traffic specs.

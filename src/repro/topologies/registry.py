@@ -87,16 +87,27 @@ class TopologyEntry:
     params: Mapping[str, Validator] = field(default_factory=dict)
 
     def validate(self, params: Mapping[str, Any]) -> None:
-        """Reject unknown parameter names and invalid values."""
+        """Reject unknown parameter names and invalid values.
+
+        Every error names the offending key and lists the valid choices,
+        so a typo'd CLI spec or sweep grid reads as a correction, not a
+        puzzle.
+        """
+        accepted = ", ".join(sorted(self.params)) or "none"
         unknown = sorted(set(params) - set(self.params))
         if unknown:
-            accepted = ", ".join(sorted(self.params)) or "none"
             raise ValueError(
                 f"unknown parameter(s) {', '.join(unknown)} for topology "
                 f"{self.name!r}; accepted: {accepted}"
             )
         for key, value in params.items():
-            self.params[key](value)
+            try:
+                self.params[key](value)
+            except ValueError as error:
+                raise ValueError(
+                    f"invalid value for parameter {key!r} of topology "
+                    f"{self.name!r}: {error}"
+                ) from None
 
 
 _TOPOLOGIES: dict[str, TopologyEntry] = {}
@@ -119,6 +130,17 @@ def _lookup(name: str) -> TopologyEntry:
         raise ValueError(
             f"unknown topology {name!r}; available: {', '.join(sorted(_TOPOLOGIES))}"
         ) from None
+
+
+def topology_entry(name: str) -> TopologyEntry:
+    """The registered :class:`TopologyEntry` of ``name``.
+
+    Raises the same unknown-name ``ValueError`` (listing the catalogue) as
+    :func:`make_topology`; used by callers — the differential fuzzer, the
+    replay-spec parser — that need the accepted parameter names without
+    building anything.
+    """
+    return _lookup(name)
 
 
 def validate_topology(name: str, params: Mapping[str, Any]) -> None:
@@ -189,6 +211,15 @@ def parse_topology_spec(spec: str) -> tuple[str, dict[str, Any]]:
     """
     name, _, raw = spec.partition(":")
     name = name.strip()
+    if not name:
+        raise ValueError(
+            f"topology spec {spec!r} is missing the topology name before "
+            f"':'; available: {', '.join(available_topologies())}"
+        )
+    # Resolve the name first so parameter errors can list the family's
+    # accepted keys (and an unknown name fails with the catalogue).
+    entry = _lookup(name)
+    accepted = ", ".join(sorted(entry.params)) or "none"
     params: dict[str, Any] = {}
     if raw.strip():
         for item in raw.split(","):
@@ -196,17 +227,30 @@ def parse_topology_spec(spec: str) -> tuple[str, dict[str, Any]]:
             key = key.strip()
             value = value.strip()
             if not key or not separator or not value:
+                missing = "key" if not key else "'='" if not separator else "value"
                 raise ValueError(
-                    f"malformed topology parameter {item!r} in {spec!r}; "
-                    "expected name:key=value,key=value"
+                    f"malformed parameter {item.strip()!r} in topology spec "
+                    f"{spec!r} (missing the {missing}); expected "
+                    f"name:key=value,key=value — accepted parameters for "
+                    f"{name!r}: {accepted}"
                 )
-            params[key] = _parse_value(value)
-    validate_topology(name, params)
+            if key in params:
+                raise ValueError(
+                    f"duplicate parameter {key!r} in topology spec {spec!r}; "
+                    f"each of ({accepted}) may appear once"
+                )
+            params[key] = parse_scalar(value)
+    entry.validate(params)
     return name, params
 
 
-def _parse_value(text: str) -> Any:
-    """Best-effort scalar parsing of one CLI parameter value."""
+def parse_scalar(text: str) -> Any:
+    """Best-effort scalar parsing of one CLI ``key=value`` parameter value.
+
+    Tries int, then float, then the literals ``true``/``false``; anything
+    else stays a string.  Shared by the topology spec parser and the
+    validation layer's fuzz-replay specs.
+    """
     for cast in (int, float):
         try:
             return cast(text)
@@ -216,6 +260,10 @@ def _parse_value(text: str) -> Any:
     if lowered in ("true", "false"):
         return lowered == "true"
     return text
+
+
+#: Backwards-compatible private alias of :func:`parse_scalar`.
+_parse_value = parse_scalar
 
 
 # --------------------------------------------------------------------------- #

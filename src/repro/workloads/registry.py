@@ -51,16 +51,26 @@ class WorkloadEntry:
     params: Mapping[str, Validator] = field(default_factory=dict)
 
     def validate(self, params: Mapping[str, Any]) -> None:
-        """Reject unknown parameter names and invalid values."""
+        """Reject unknown parameter names and invalid values.
+
+        Every error names the offending key and lists the valid choices,
+        so a typo'd parameter reads as a correction, not a puzzle.
+        """
+        accepted = ", ".join(sorted(self.params)) or "none"
         unknown = sorted(set(params) - set(self.params))
         if unknown:
-            accepted = ", ".join(sorted(self.params)) or "none"
             raise ValueError(
                 f"unknown parameter(s) {', '.join(unknown)} for workload "
                 f"{self.name!r}; accepted: {accepted}"
             )
         for key, value in params.items():
-            self.params[key](value)
+            try:
+                self.params[key](value)
+            except ValueError as error:
+                raise ValueError(
+                    f"invalid value for parameter {key!r} of workload "
+                    f"{self.name!r}: {error}"
+                ) from None
 
 
 _PATTERNS: dict[str, WorkloadEntry] = {}
@@ -94,6 +104,25 @@ def _lookup(table: dict[str, WorkloadEntry], kind: str, name: str) -> WorkloadEn
         raise ValueError(
             f"unknown {kind} {name!r}; available: {', '.join(sorted(table))}"
         ) from None
+
+
+def pattern_entry(name: str) -> WorkloadEntry:
+    """The registered :class:`WorkloadEntry` of destination pattern ``name``.
+
+    Raises the same unknown-name ``ValueError`` (listing the catalogue) as
+    :func:`make_pattern`; used by callers — the differential fuzzer, the
+    replay-spec parser — that need the accepted parameter names without
+    building anything.
+    """
+    return _lookup(_PATTERNS, "destination pattern", name)
+
+
+def injector_entry(name: str) -> WorkloadEntry:
+    """The registered :class:`WorkloadEntry` of injection process ``name``.
+
+    The injector sibling of :func:`pattern_entry`.
+    """
+    return _lookup(_INJECTORS, "injection process", name)
 
 
 def make_pattern(

@@ -290,3 +290,62 @@ class TestBatchRunner:
 
         assert main(["fig10", "--engine", "batch"]) == 0
         assert "Figure 10" in capsys.readouterr().out
+
+    def test_mixed_topology_families_batch_per_family(self):
+        """One spec list mixing topology families still equals per-point runs.
+
+        A heterogeneous sweep — four structurally different families
+        interleaved load-major, so same-family specs are never adjacent —
+        must split into one SimBatch group per (family, params) with >= 2
+        members each, and every result must equal the point's own vector
+        run field for field, in the original spec order.
+        """
+        from repro.experiments import BatchRunner, Executor, ExperimentSpec
+        from repro.experiments.batch import plan_batches
+
+        families = (
+            ("toph", {}),
+            ("mesh", {"width": 4, "height": 4}),
+            ("ring", {}),
+            ("butterfly", {"radix": 2, "ports": 2}),
+        )
+        loads = (0.1, 0.25)
+
+        def specs(engine):
+            return [
+                ExperimentSpec(
+                    "repro.evaluation.topologies:simulate_topology_point",
+                    {
+                        "topology": topology,
+                        "topology_params": dict(params),
+                        "load": load,
+                        "full_scale": False,
+                        "warmup_cycles": 40,
+                        "measure_cycles": 120,
+                        "seed": 9,
+                        "engine": engine,
+                        "pattern": "uniform",
+                        "injector": "poisson",
+                    },
+                )
+                for load in loads
+                for topology, params in families
+            ]
+
+        batch_specs = specs("batch")
+        groups = [
+            group for group in plan_batches(batch_specs) if len(group) > 1
+        ]
+        assert len(groups) == len(families)
+        assert all(len(group) == len(loads) for group in groups)
+
+        batch_results = BatchRunner(Executor()).run(batch_specs)
+        vector_results = Executor().run(specs("vector"))
+        assert [r.topology for r in batch_results] == [
+            s.params["topology"] for s in batch_specs
+        ]
+        for batch_result, vector_result in zip(batch_results, vector_results):
+            for field in COMPARED_FIELDS:
+                assert getattr(batch_result, field) == getattr(
+                    vector_result, field
+                ), (batch_result.topology, field)

@@ -188,6 +188,36 @@ def workloads_report(current: dict) -> str | None:
     return "\n".join(lines)
 
 
+def validation_report(report_path: Path) -> str | None:
+    """Summary of the last golden-band validation run, or None when absent.
+
+    ``python -m repro.experiments validate`` (``make validate``) writes
+    ``benchmarks/VALIDATION_report.json``; this section surfaces its
+    verdict next to the perf numbers.  Informational here: the validate
+    command itself is the gate (it exits 1 on a reject verdict), this
+    report never re-fails an already-gated run.
+    """
+    document = load_result(report_path)
+    if document is None:
+        return None
+    rows = document.get("rows", [])
+    flagged = [row for row in rows if row.get("severity") != "ok"]
+    lines = [
+        f"golden validation : {len(rows)} metric rows, "
+        f"worst severity {document.get('worst', '?').upper()}, "
+        f"verdict {document.get('verdict', '?')}"
+    ]
+    for row in flagged:
+        lines.append(
+            f"  {row['case']:<24} {row['metric']:<16} "
+            f"deviation {100.0 * row['deviation']:.2f}% "
+            f"-> {row['severity'].upper()} ({row['action']})"
+        )
+    if not flagged:
+        lines.append("  every metric matches its committed golden exactly")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -239,6 +269,9 @@ def main(argv: list[str] | None = None) -> int:
     workloads = workloads_report(current)
     if workloads:
         print(workloads)
+    validation = validation_report(BENCH_DIR / "VALIDATION_report.json")
+    if validation:
+        print(validation)
     return 0 if ok else 1
 
 
