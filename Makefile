@@ -5,7 +5,7 @@
 #   make coverage   tier-1 suite under pytest-cov with an enforced threshold
 #   make bench      benchmark harness (regenerates every figure/table)
 #   make bench-engine  engine + batch + topology benchmarks + enforced report
-#   make fuzz       bounded differential fuzz of the three engines
+#   make fuzz       bounded differential fuzz of the four engines
 #   make validate   statistical golden-band validation (repro.validation)
 #   make validate-update  re-measure and re-commit the golden bands
 #   make lint       ruff (pyproject.toml config) when available, else docs-lint
@@ -70,7 +70,7 @@ bench-engine:
 	$(PYTHON) tools/bench_report.py
 
 # Property-based differential fuzzing: FUZZ_BUDGET configurations sampled
-# from the registries' whole space, each run on all three engines and
+# from the registries' whole space, each run on all four engines and
 # compared flit for flit.  Failures shrink and print a one-line
 # `python -m repro.validation --replay '<spec>'` reproducer.
 fuzz:

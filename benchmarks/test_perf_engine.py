@@ -26,6 +26,7 @@ from pathlib import Path
 from repro.core.cluster import MemPoolCluster
 from repro.core.config import MemPoolConfig
 from repro.engine import VectorStageNetwork
+from repro.engine.kernel import JIT_ENABLED
 from repro.traffic.simulation import TrafficSimulation
 
 #: Injected loads of the benchmark sweep (request/core/cycle); spans the
@@ -41,6 +42,16 @@ RESULT_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
 #: recorded baseline, so the suite stays green on slow, noisy CI boxes
 #: while still catching a vector engine that stopped being faster.
 SPEEDUP_FLOOR = 2.0
+#: Minimum compiled-over-vector advance() speedup with the numba backend.
+#: Only asserted when the JIT is active: the pure-Python fallback runs the
+#: same kernels as interpreted bytecode and is legitimately slower than
+#: the vector engine (tools/bench_report.py gates each jit mode only
+#: against a baseline recorded in the same mode).
+COMPILED_SPEEDUP_FLOOR = 10.0
+#: Window of the paper-scale 256-core smoke sweep (short on purpose: at
+#: 256 cores the per-cycle work is the signal, not the horizon).
+FULL_SCALE_WARMUP = 50
+FULL_SCALE_MEASURE = 150
 
 
 def _timed_advance(network):
@@ -130,3 +141,86 @@ def test_engine_speedup_and_write_bench(report_sink):
         f"{vector['advance_cycles_per_sec']} cycles/s) -> {RESULT_PATH.name}"
     )
     assert advance_speedup >= SPEEDUP_FLOOR
+
+
+def test_compiled_speedup_and_write_bench(report_sink):
+    """Compiled-kernel engine vs the vector engine on the same sweep.
+
+    Merges a ``"compiled"`` section into ``BENCH_engine.json`` with the
+    advance speedup over vector and the ``jit`` flag recording which
+    kernel backend produced it; ``tools/bench_report.py`` gates the ratio
+    only against a baseline recorded in the same jit mode.
+    """
+    # Cycle-exactness gate first: same sweep, same flits.
+    logs = {}
+    for engine in ("vector", "compiled"):
+        cluster = MemPoolCluster(MemPoolConfig.scaled(BENCH_TOPOLOGY), engine=engine)
+        logs[engine] = TrafficSimulation(cluster, 0.3, seed=SEED).run(
+            warmup_cycles=100, measure_cycles=300, record_flits=True
+        ).flit_log
+    assert logs["vector"] == logs["compiled"]
+
+    vector = _run_sweep("vector")
+    compiled = _run_sweep("compiled")
+    speedup = vector["advance_seconds"] / compiled["advance_seconds"]
+    payload = json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
+    payload["compiled"] = {
+        "benchmark": "64-core load sweep "
+                     f"({BENCH_TOPOLOGY}, loads {list(BENCH_LOADS)}, "
+                     f"{WARMUP_CYCLES}+{MEASURE_CYCLES} cycles/point)",
+        "vector": vector,
+        "compiled": compiled,
+        "speedup_vs_vector": round(speedup, 2),
+        "jit": JIT_ENABLED,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    mode = "numba JIT" if JIT_ENABLED else "pure-Python kernels"
+    report_sink.append(
+        f"compiled benchmark ({mode}): advance {speedup:.2f}x over vector "
+        f"({vector['advance_cycles_per_sec']} -> "
+        f"{compiled['advance_cycles_per_sec']} cycles/s) -> {RESULT_PATH.name}"
+    )
+    if JIT_ENABLED:
+        assert speedup >= COMPILED_SPEEDUP_FLOOR
+
+
+def test_full_scale_smoke_sweep_and_write_bench(report_sink):
+    """Paper-scale 256-core fig5-style point: exact and CI-friendly fast.
+
+    Runs one short uniform-load point on the full 256-core TopH cluster
+    through all three per-sim engines, asserts flit-for-flit identity, and
+    records the compiled engine's wall time in the ``"compiled"`` section
+    (informational — machine-dependent).
+    """
+    config = MemPoolConfig.full("toph")
+    assert config.num_cores == 256
+    logs = {}
+    seconds = {}
+    for engine in ("legacy", "vector", "compiled"):
+        cluster = MemPoolCluster(config, engine=engine)
+        cluster.network  # build/compile outside the timing
+        started = time.perf_counter()
+        logs[engine] = TrafficSimulation(cluster, 0.15, seed=SEED).run(
+            warmup_cycles=FULL_SCALE_WARMUP,
+            measure_cycles=FULL_SCALE_MEASURE,
+            record_flits=True,
+        ).flit_log
+        seconds[engine] = time.perf_counter() - started
+    assert logs["legacy"]  # the comparison must not be vacuous
+    assert logs["legacy"] == logs["vector"]
+    assert logs["legacy"] == logs["compiled"]
+
+    payload = json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
+    section = payload.setdefault("compiled", {})
+    section["full_scale"] = {
+        "benchmark": "256-core toph uniform point, load 0.15, "
+                     f"{FULL_SCALE_WARMUP}+{FULL_SCALE_MEASURE} cycles",
+        "jit": JIT_ENABLED,
+        "seconds": {name: round(value, 3) for name, value in seconds.items()},
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    report_sink.append(
+        "full-scale smoke (256-core toph): flit-for-flit identical; "
+        + ", ".join(f"{name} {value:.2f}s" for name, value in seconds.items())
+        + f" -> {RESULT_PATH.name}"
+    )

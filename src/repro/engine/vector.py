@@ -85,9 +85,6 @@ class VectorEngine:
         self.granted_cycle = [-1] * compiled.num_arbiters
         #: Per-row resolved next hop (see the module docstring).
         self._next_move: list[tuple] = []
-        #: Per-(core, tile, direction) template-id cache with integer keys.
-        self._template_cache: dict[int, int] = {}
-        self._num_tiles = compiled.topology.config.num_tiles
         self.in_flight = 0
         self.total_injected = 0
         self.total_completed = 0
@@ -97,16 +94,19 @@ class VectorEngine:
     # ------------------------------------------------------------------ #
 
     def _path_template(self, core_id: int, bank_id: int, is_write: bool) -> int:
-        """Template id for a core -> bank transaction, via an int-keyed cache."""
+        """Template id for a core -> bank transaction.
+
+        Resolved through the compiled network's dense per-core template
+        rows (:meth:`~repro.engine.compile.CompiledNetwork.template_row`):
+        two list reads in steady state, with the rows — bounded at
+        ``num_cores * num_tiles`` entries per direction — shared by every
+        engine instance on the same compiled network, so large sweeps no
+        longer grow a per-instance cache dict in the inject path.
+        """
         compiled = self.compiled
-        key = (core_id * self._num_tiles + compiled.tile_of_bank[bank_id]) * 2 + (
-            not is_write
-        )
-        path_id = self._template_cache.get(key)
-        if path_id is None:
-            path_id = compiled.path_id(core_id, bank_id, not is_write)
-            self._template_cache[key] = path_id
-        return path_id
+        return compiled.template_row(core_id, not is_write)[
+            compiled.tile_of_bank[bank_id]
+        ]
 
     def new_flit(self, core_id: int, bank_id: int, is_write: bool, cycle: int) -> int:
         """Allocate a flit row for a core -> bank transaction; return its id."""
@@ -350,10 +350,17 @@ class VectorStageNetwork:
     """
 
     def __init__(
-        self, topology: ClusterTopology, compiled: CompiledNetwork | None = None
+        self,
+        topology: ClusterTopology,
+        compiled: CompiledNetwork | None = None,
+        engine_cls: type = VectorEngine,
     ) -> None:
         self.compiled = compiled or CompiledNetwork(topology)
-        self.engine = VectorEngine(self.compiled)
+        #: The SoA engine behind the facade — :class:`VectorEngine` by
+        #: default, :class:`repro.engine.compiled.CompiledEngine` when the
+        #: cluster was built with ``engine="compiled"``.  Both expose the
+        #: same per-row API, so the facade is engine-agnostic.
+        self.engine = engine_cls(self.compiled)
         #: Rows of in-flight object flits, keyed by row id.
         self._flit_of_row: dict[int, Flit] = {}
 

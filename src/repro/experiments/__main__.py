@@ -90,8 +90,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="timing engine for the simulating experiments (default: "
              "MEMPOOL_ENGINE or 'legacy'; 'vector' is the faster "
              "structure-of-arrays engine, 'batch' additionally advances "
-             "compatible traffic points as one SimBatch — results are "
-             "identical for all three)",
+             "compatible traffic points as one SimBatch, 'compiled' runs "
+             "the ring-buffer kernel engine, JIT-compiled when numba is "
+             "installed — results are identical for all four)",
     )
     run.add_argument(
         "--pattern",

@@ -271,15 +271,20 @@ class BatchRunner:
 
         first = spec_list[indices[0]]
         adapter = BATCHABLE_RUNNERS[first.runner]
+        # The group inherits the sweep's engine (every spec of a run
+        # carries the same one): "batch" members run the deque-based
+        # SimBatch, "compiled" members the kernel-backed CompiledSimBatch —
+        # TrafficBatch picks the batched engine off the cluster kind.
+        engine = first.params.get("engine", "batch")
         settings = ExperimentSettings(
-            full_scale=bool(first.params.get("full_scale", False)), engine="batch"
+            full_scale=bool(first.params.get("full_scale", False)), engine=engine
         )
         cluster = MemPoolCluster(
             settings.config(
                 adapter.topology(first.params),
                 topology_params=first.params.get("topology_params") or {},
             ),
-            engine="batch",
+            engine=engine,
         )
         simulations = []
         warmups = []

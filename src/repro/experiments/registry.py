@@ -61,11 +61,12 @@ class ExperimentDefinition:
     def run(self, settings: ExperimentSettings, executor: Executor) -> Any:
         """Expand the sweep, run it on ``executor`` and assemble the result.
 
-        With ``settings.engine == "batch"`` the executor is fronted by a
-        :class:`~repro.experiments.batch.BatchRunner`, which advances
-        compatible traffic points of the sweep as one
-        :class:`repro.engine.batch.SimBatch` group and leaves every other
-        point (and the cache protocol) with the plain executor.
+        With ``settings.engine == "batch"`` (or ``"compiled"``, whose
+        batched variant runs the typed-array kernels) the executor is
+        fronted by a :class:`~repro.experiments.batch.BatchRunner`, which
+        advances compatible traffic points of the sweep as one batched
+        engine group and leaves every other point (and the cache protocol)
+        with the plain executor.
 
         Examples
         --------
@@ -76,7 +77,7 @@ class ExperimentDefinition:
         True
         """
         specs = self.build_sweep(settings).specs()
-        if settings.engine == "batch":
+        if settings.engine in ("batch", "compiled"):
             from repro.experiments.batch import BatchRunner
 
             runner = BatchRunner(executor)

@@ -59,6 +59,8 @@ class LocalBiasedPattern(DestinationPattern):
         super().__init__(config, seed)
         check_in_range("p_local", p_local, 0.0, 1.0)
         self.p_local = p_local
+        #: Per-core own-tile bank base, built on the first batched call.
+        self._tile_base: list[int] | None = None
 
     def destination(self, core_id: int) -> int:
         """A bank in the core's own tile with probability ``p_local``, else uniform."""
@@ -67,6 +69,48 @@ class LocalBiasedPattern(DestinationPattern):
             tile = config.tile_of_core(core_id)
             return tile * config.banks_per_tile + self.rng.randrange(config.banks_per_tile)
         return self.rng.randrange(config.num_banks)
+
+    def destinations(self, core_ids) -> np.ndarray:
+        """Batched draws, bit-identical to per-request :meth:`destination`.
+
+        The fallback loop paid one ``randrange`` call per request —
+        argument validation, method dispatch and all.  This inlines
+        CPython's ``Random._randbelow_with_getrandbits`` rejection loop
+        (``k = n.bit_length(); r = getrandbits(k); while r >= n: redraw``)
+        with every name bound locally, so the draws consumed — including
+        the rejected ones — are *exactly* those of the scalar path (the
+        contract ``tests/test_workloads.py`` asserts), at roughly half the
+        interpreter work per request.
+        """
+        config = self.config
+        rng = self.rng
+        uniform = rng.random
+        getrandbits = rng.getrandbits
+        p_local = self.p_local
+        banks_per_tile = config.banks_per_tile
+        num_banks = config.num_banks
+        local_bits = banks_per_tile.bit_length()
+        global_bits = num_banks.bit_length()
+        tile_base = self._tile_base
+        if tile_base is None:
+            tile_base = self._tile_base = [
+                config.tile_of_core(core) * banks_per_tile
+                for core in range(config.num_cores)
+            ]
+        out: list[int] = []
+        append = out.append
+        for core in core_ids:
+            if uniform() < p_local:
+                draw = getrandbits(local_bits)
+                while draw >= banks_per_tile:
+                    draw = getrandbits(local_bits)
+                append(tile_base[core] + draw)
+            else:
+                draw = getrandbits(global_bits)
+                while draw >= num_banks:
+                    draw = getrandbits(global_bits)
+                append(draw)
+        return np.asarray(out, dtype=np.int64)
 
 
 class TablePattern(DestinationPattern):
@@ -242,6 +286,43 @@ class HotspotPattern(DestinationPattern):
         if rng.random() < self.p_hot:
             return self._hot_banks[rng.randrange(self.num_hotspots)]
         return rng.randrange(self.config.num_banks)
+
+    def destinations(self, core_ids) -> np.ndarray:
+        """Batched draws, bit-identical to per-request :meth:`destination`.
+
+        Same technique as
+        :meth:`LocalBiasedPattern.destinations <LocalBiasedPattern.destinations>`
+        — CPython's ``randrange`` rejection loop inlined over locally bound
+        names — but against each request's *per-core* substream, whose
+        state advances exactly as the scalar calls would advance it.  Note
+        ``num_hotspots == 1`` still consumes rejection draws
+        (``randrange(1)`` draws at least one bit), so the hot branch keeps
+        the loop rather than short-circuiting.
+        """
+        if self._core_rngs is None:
+            self.core_rng(0)
+        rngs = self._core_rngs
+        p_hot = self.p_hot
+        num_hotspots = self.num_hotspots
+        hot_banks = self._hot_banks
+        num_banks = self.config.num_banks
+        hot_bits = num_hotspots.bit_length()
+        global_bits = num_banks.bit_length()
+        out: list[int] = []
+        append = out.append
+        for core in core_ids:
+            rng = rngs[core]
+            if rng.random() < p_hot:
+                draw = rng.getrandbits(hot_bits)
+                while draw >= num_hotspots:
+                    draw = rng.getrandbits(hot_bits)
+                append(hot_banks[draw])
+            else:
+                draw = rng.getrandbits(global_bits)
+                while draw >= num_banks:
+                    draw = rng.getrandbits(global_bits)
+                append(draw)
+        return np.asarray(out, dtype=np.int64)
 
 
 register_pattern(

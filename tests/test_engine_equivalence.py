@@ -1,13 +1,17 @@
-"""Equivalence of the vectorized engine with the legacy object engine.
+"""Equivalence of the SoA engines with the legacy object engine.
 
 The contract of :mod:`repro.engine` is *cycle-exactness*: for fixed seeds,
-the structure-of-arrays engine must produce flit-for-flit identical
-injection and completion cycles — and therefore identical throughput and
-latency figures — on every topology.  These tests drive both engines
-through the same workloads and compare the complete per-flit logs.
+the structure-of-arrays engines — ``vector`` (deque + move-chain) and
+``compiled`` (ring-buffer + typed-array kernels, JIT-built when numba is
+installed) — must produce flit-for-flit identical injection and completion
+cycles, and therefore identical throughput and latency figures, on every
+topology.  These tests drive the engines through the same workloads and
+compare the complete per-flit logs against the legacy engine.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -75,11 +79,12 @@ def test_traffic_equivalence(cores, pattern_name, topology):
     )
     assert config.num_cores == cores
     legacy = _run(config, "legacy", pattern_name, load=0.3)
-    vector = _run(config, "vector", pattern_name, load=0.3)
     assert legacy.flit_log  # the comparison must not be vacuous
-    assert legacy.flit_log == vector.flit_log
-    for field in COMPARED_FIELDS:
-        assert getattr(legacy, field) == getattr(vector, field), field
+    for engine in ("vector", "compiled"):
+        other = _run(config, engine, pattern_name, load=0.3)
+        assert legacy.flit_log == other.flit_log, engine
+        for field in COMPARED_FIELDS:
+            assert getattr(legacy, field) == getattr(other, field), (engine, field)
 
 
 @pytest.mark.parametrize("pattern", available_patterns())
@@ -94,7 +99,7 @@ def test_workload_equivalence_every_pattern_and_injector(pattern, injector):
     """
     config = MemPoolConfig.tiny("toph")
     logs = {}
-    for engine in ("legacy", "vector"):
+    for engine in ("legacy", "vector", "compiled"):
         cluster = MemPoolCluster(config, engine=engine)
         simulation = TrafficSimulation(
             cluster, 0.3, pattern=pattern, seed=13, injector=injector
@@ -105,6 +110,7 @@ def test_workload_equivalence_every_pattern_and_injector(pattern, injector):
         logs[engine] = (result.flit_log, result.local_fraction)
     assert logs["legacy"][0]  # the comparison must not be vacuous
     assert logs["legacy"] == logs["vector"]
+    assert logs["legacy"] == logs["compiled"]
 
 
 @pytest.mark.parametrize("topology", ["top1", "top4", "toph", "topx"])
@@ -112,26 +118,28 @@ def test_traffic_equivalence_every_topology_smoke(topology):
     """Short smoke run covering all four topologies, high load."""
     config = MemPoolConfig.tiny(topology)
     legacy = _run(config, "legacy", "uniform", load=0.6)
-    vector = _run(config, "vector", "uniform", load=0.6)
-    assert legacy.flit_log == vector.flit_log
+    for engine in ("vector", "compiled"):
+        assert legacy.flit_log == _run(config, engine, "uniform", load=0.6).flit_log
 
 
 @pytest.mark.parametrize("topology", ["top1", "toph"])
 def test_system_equivalence_on_kernel(topology):
     """The execution-driven simulator is cycle-exact across engines too."""
     results = {}
-    for engine in ("legacy", "vector"):
+    for engine in ("legacy", "vector", "compiled"):
         cluster = MemPoolCluster(MemPoolConfig.tiny(topology), engine=engine)
         results[engine] = DctKernel(cluster, blocks_per_core=1, seed=0).run(verify=True)
-    legacy, vector = results["legacy"], results["vector"]
-    assert vector.correct
-    assert legacy.system.cycles == vector.system.cycles
-    assert legacy.system.instructions == vector.system.instructions
-    assert legacy.system.injected_requests == vector.system.injected_requests
-    assert legacy.system.completed_requests == vector.system.completed_requests
-    legacy_stats = [stats.__dict__ for stats in legacy.system.core_stats]
-    vector_stats = [stats.__dict__ for stats in vector.system.core_stats]
-    assert legacy_stats == vector_stats
+    legacy = results["legacy"]
+    for engine in ("vector", "compiled"):
+        other = results[engine]
+        assert other.correct
+        assert legacy.system.cycles == other.system.cycles, engine
+        assert legacy.system.instructions == other.system.instructions, engine
+        assert legacy.system.injected_requests == other.system.injected_requests
+        assert legacy.system.completed_requests == other.system.completed_requests
+        legacy_stats = [stats.__dict__ for stats in legacy.system.core_stats]
+        other_stats = [stats.__dict__ for stats in other.system.core_stats]
+        assert legacy_stats == other_stats, engine
 
 
 def test_back_to_back_runs_stay_equivalent():
@@ -143,13 +151,37 @@ def test_back_to_back_runs_stay_equivalent():
     """
     config = MemPoolConfig.tiny("top1")
     results = {}
-    for engine in ("legacy", "vector"):
+    for engine in ("legacy", "vector", "compiled"):
         cluster = MemPoolCluster(config, engine=engine)
         simulation = TrafficSimulation(cluster, 0.6, seed=5)
         first = simulation.run(50, 150, record_flits=True)
         second = simulation.run(50, 150, record_flits=True)
         results[engine] = (first.flit_log, second.flit_log, second.local_fraction)
     assert results["legacy"] == results["vector"]
+    assert results["legacy"] == results["compiled"]
+
+
+@pytest.mark.skipif(
+    not os.environ.get("MEMPOOL_NIGHTLY"),
+    reason="paper-scale smoke equivalence runs in the nightly job "
+    "(set MEMPOOL_NIGHTLY=1 to run locally)",
+)
+def test_full_scale_256_core_equivalence_smoke():
+    """256-core paper-scale cluster: all three per-sim engines agree.
+
+    A short window (the per-cycle work at 256 cores is what matters, not
+    the horizon) over the full configuration the compiled engine exists to
+    make routine; one topology keeps the nightly cost bounded.
+    """
+    config = MemPoolConfig.full("toph")
+    assert config.num_cores == 256
+    legacy = _run(config, "legacy", "uniform", load=0.2)
+    assert legacy.flit_log  # the comparison must not be vacuous
+    for engine in ("vector", "compiled"):
+        other = _run(config, engine, "uniform", load=0.2)
+        assert legacy.flit_log == other.flit_log, engine
+        for field in COMPARED_FIELDS:
+            assert getattr(legacy, field) == getattr(other, field), (engine, field)
 
 
 def test_point_function_equivalence_via_engine_flag():

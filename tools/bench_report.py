@@ -116,6 +116,59 @@ def batch_report(
     return ok, "\n".join(lines)
 
 
+def compiled_report(
+    current: dict, baseline: dict | None, threshold: float
+) -> tuple[bool, str] | None:
+    """Compiled-kernel-vs-vector report and gate, or None when never run.
+
+    ``benchmarks/test_perf_engine.py`` merges a ``"compiled"`` section into
+    the current results file with the compiled engine's advance speedup
+    over the vector engine and a ``jit`` flag recording whether the numba
+    backend was active.  The gate is **jit-mode aware**: the speedup ratio
+    is only compared against the committed baseline when both runs used
+    the same kernel backend — a pure-Python fallback run (numba absent or
+    ``MEMPOOL_JIT=0``) is legitimately far slower than a JIT run and must
+    never be gated against a JIT baseline, or vice versa.
+    """
+    section = current.get("compiled")
+    if not section:
+        return None
+    speedup = section.get("speedup_vs_vector", 0.0)
+    jit = bool(section.get("jit"))
+    mode = "numba JIT" if jit else "pure-Python kernels"
+    lines = [
+        f"compiled benchmark: {section.get('benchmark', 'kernel engine')}",
+        f"  advance speedup : {speedup:.2f}x over vector ({mode})",
+    ]
+    ok = True
+    base_section = (baseline or {}).get("compiled")
+    if base_section and base_section.get("speedup_vs_vector") is not None:
+        if bool(base_section.get("jit")) != jit:
+            base_mode = "numba JIT" if base_section.get("jit") else "pure-Python"
+            lines.append(
+                f"  verdict         : jit mode differs from baseline "
+                f"({base_mode}) — not comparable, informational"
+            )
+        else:
+            base_speedup = base_section["speedup_vs_vector"]
+            floor = base_speedup * (1.0 - threshold)
+            ok = speedup >= floor
+            lines.append(
+                "  verdict         : "
+                + (
+                    f"OK (baseline {base_speedup:.2f}x, floor {floor:.2f}x)"
+                    if ok
+                    else f"REGRESSION (> {threshold:.0%} below baseline "
+                    f"{base_speedup:.2f}x)"
+                )
+            )
+    else:
+        lines.append(
+            "  verdict         : no committed compiled baseline (informational)"
+        )
+    return ok, "\n".join(lines)
+
+
 def topologies_report(
     current: dict, baseline: dict | None, threshold: float
 ) -> tuple[bool, str] | None:
@@ -260,6 +313,11 @@ def main(argv: list[str] | None = None) -> int:
     if batch:
         batch_ok, report = batch
         ok = ok and batch_ok
+        print(report)
+    compiled = compiled_report(current, baseline, args.threshold)
+    if compiled:
+        compiled_ok, report = compiled
+        ok = ok and compiled_ok
         print(report)
     topologies = topologies_report(current, baseline, args.threshold)
     if topologies:
