@@ -5,6 +5,7 @@
 #   make coverage   tier-1 suite under pytest-cov with an enforced threshold
 #   make bench      benchmark harness (regenerates every figure/table)
 #   make bench-engine  engine + batch + topology benchmarks + enforced report
+#   make distributed-smoke  distributed executor vs serial: identity + crash recovery
 #   make fuzz       bounded differential fuzz of the four engines
 #   make validate   statistical golden-band validation (repro.validation)
 #   make validate-update  re-measure and re-commit the golden bands
@@ -27,8 +28,8 @@ FUZZ_BUDGET ?= 25
 # make a failing build pass.
 COV_MIN ?= 92
 
-.PHONY: test ci coverage bench bench-engine fuzz validate validate-update \
-	lint docs-lint figures clean-cache
+.PHONY: test ci coverage bench bench-engine distributed-smoke fuzz \
+	validate validate-update lint docs-lint figures clean-cache
 
 # The trailing bench report is informational in the test flow: it runs
 # whether or not pytest passed, but the target's exit status is always
@@ -66,7 +67,18 @@ bench:
 bench-engine:
 	$(PYTHON) -m pytest -q benchmarks/test_perf_engine.py \
 		benchmarks/test_perf_batch.py benchmarks/test_perf_workloads.py \
-		benchmarks/test_perf_topologies.py
+		benchmarks/test_perf_topologies.py \
+		benchmarks/test_perf_distributed.py
+	$(PYTHON) tools/bench_report.py
+
+# Distributed execution smoke: the work-stealing executor over local
+# forked workers AND loopback TCP workers must produce byte-identical
+# results (same cache keys, same pickled values) to a serial run, and a
+# SIGKILLed worker's shard must requeue without losing a point; then the
+# 4-vs-1 local-worker scaling benchmark with the cpu-aware report gate.
+distributed-smoke:
+	$(PYTHON) -m pytest -x -q tests/test_distributed.py
+	$(PYTHON) -m pytest -q benchmarks/test_perf_distributed.py
 	$(PYTHON) tools/bench_report.py
 
 # Property-based differential fuzzing: FUZZ_BUDGET configurations sampled

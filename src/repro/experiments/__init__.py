@@ -17,7 +17,11 @@ nested loop.  This package replaces those loops with one engine:
   ``--engine batch`` / ``MEMPOOL_ENGINE=batch``) groups compatible
   open-loop traffic points of a sweep and advances each group as one
   :class:`repro.engine.batch.SimBatch`, amortising per-point overhead
-  while remaining flit-for-flit identical to per-point execution.
+  while remaining flit-for-flit identical to per-point execution;
+* :class:`~repro.experiments.distributed.DistributedExecutor`
+  (``--dispatch``) shards sweeps along the same batch-group boundaries
+  and executes them on a work-stealing fleet of local processes and/or
+  remote TCP workers, all sharing one content-addressed cache.
 
 Every figure/table driver in :mod:`repro.evaluation` goes through this
 engine; the registry of those drivers lives in
@@ -38,8 +42,16 @@ from repro.experiments.batch import (
     BatchRunner,
     TrafficAdapter,
     plan_batches,
+    spec_group_key,
 )
-from repro.experiments.cache import MISS, CacheStats, ResultCache, default_cache_dir
+from repro.experiments.cache import (
+    MISS,
+    CacheBackend,
+    CacheStats,
+    MemoryCache,
+    ResultCache,
+    default_cache_dir,
+)
 from repro.experiments.executor import ExecutionReport, Executor, run_sweep
 from repro.experiments.spec import (
     ExperimentSpec,
@@ -55,8 +67,11 @@ __all__ = [
     "BATCHABLE_RUNNERS",
     "BatchRunner",
     "plan_batches",
+    "spec_group_key",
     "TrafficAdapter",
+    "CacheBackend",
     "CacheStats",
+    "MemoryCache",
     "ResultCache",
     "default_cache_dir",
     "ExecutionReport",

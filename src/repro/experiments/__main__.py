@@ -5,6 +5,9 @@ Usage::
     python -m repro.experiments run                 # every experiment, serial
     python -m repro.experiments run fig5 fig7 -w 8  # two sweeps on 8 workers
     python -m repro.experiments run --no-cache      # force recomputation
+    python -m repro.experiments run --dispatch -w 4 # 4 work-stealing workers
+    python -m repro.experiments run --dispatch --workers node1:2,node2:7700:4
+    python -m repro.experiments worker --port 7653  # serve shards over TCP
     python -m repro.experiments run fig5 --pattern tornado --injector bursty
     python -m repro.experiments run workloads --engine vector  # full catalogue
     python -m repro.experiments run topologies      # every topology family
@@ -64,9 +67,35 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "-w",
         "--workers",
+        default="1",
+        help="worker processes (1 = serial, 0 = all CPUs); with "
+             "--dispatch also accepts a fleet spec like "
+             "'node1:2,node2:7700:4' mixing forked local workers and "
+             "TCP connections to `python -m repro.experiments worker` "
+             "servers",
+    )
+    run.add_argument(
+        "--dispatch",
+        action="store_true",
+        help="distribute the sweep over a work-stealing shard scheduler "
+             "(see --workers, --lease, --shard-points); results are "
+             "identical to a serial run",
+    )
+    run.add_argument(
+        "--lease",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="shard lease: a worker silent this long is presumed dead "
+             "and its shards are requeued (default: 30)",
+    )
+    run.add_argument(
+        "--shard-points",
         type=int,
-        default=1,
-        help="worker processes (1 = serial, 0 = all CPUs)",
+        default=None,
+        metavar="N",
+        help="max sweep points per shard (default: keep batch groups "
+             "whole for batching engines, else ~4 shards per worker)",
     )
     run.add_argument(
         "--no-cache",
@@ -118,6 +147,35 @@ def build_parser() -> argparse.ArgumentParser:
              "parameters, e.g. 'mesh:width=8,height=2' (default: "
              "MEMPOOL_TOPOLOGY or 'toph'; figure sweeps keep their own "
              "topology axes)",
+    )
+
+    worker = commands.add_parser(
+        "worker",
+        help="serve shards to a dispatching run over TCP",
+        description="Run a worker server for `run --dispatch --workers "
+                    "host:n,...`: each dispatcher connection is served by "
+                    "its own forked process, so n connections give n "
+                    "parallel executors on this host.",
+    )
+    worker.add_argument(
+        "--host",
+        default="0.0.0.0",
+        help="bind address (default: 0.0.0.0)",
+    )
+    worker.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port (default: 7653; 0 picks an ephemeral port, "
+             "printed on startup)",
+    )
+    worker.add_argument(
+        "--cache",
+        default=None,
+        metavar="SPEC",
+        help="worker-side cache backend: none, disk[:dir], "
+             "memory[:entries] or tcp://host:port (default: adopt the "
+             "dispatcher's shared cache server)",
     )
 
     commands.add_parser("list", help="list the registered experiments")
@@ -287,7 +345,29 @@ def _command_run(args: argparse.Namespace) -> int:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
-    executor = Executor(workers=args.workers, cache=cache)
+    if args.dispatch:
+        from repro.experiments.distributed import DistributedExecutor
+
+        try:
+            executor = DistributedExecutor(
+                workers=args.workers,
+                cache=cache,
+                lease_s=args.lease,
+                max_points=args.shard_points,
+            )
+        except ValueError as error:
+            print(error)
+            return 1
+    else:
+        try:
+            worker_count = int(args.workers)
+        except ValueError:
+            print(
+                f"--workers {args.workers!r} is a fleet spec; add --dispatch "
+                "to distribute the run (plain runs take an integer count)"
+            )
+            return 1
+        executor = Executor(workers=worker_count, cache=cache)
     # --full forces the paper scale; otherwise MEMPOOL_FULL still decides.
     # --engine likewise overrides MEMPOOL_ENGINE.
     overrides = {}
@@ -314,8 +394,42 @@ def _command_run(args: argparse.Namespace) -> int:
     print(f"MemPool reproduction — experiment scale: {settings.scale_label}\n")
     for name, result, _elapsed in run_experiments(selected, settings, executor):
         print(f"=== {name} ({executor.last_report.summary()}) ===")
+        for line in executor.last_report.worker_lines():
+            print(f"    {line}")
         print(result.report())
         print()
+    return 0
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from repro.experiments.distributed import (
+        DEFAULT_PORT,
+        WorkerServer,
+        parse_cache_spec,
+    )
+
+    try:
+        # Validate the spec now, at startup; the serving processes re-parse
+        # it per connection (live backends must not cross the fork).
+        parse_cache_spec(args.cache)
+    except ValueError as error:
+        print(error)
+        return 1
+    port = DEFAULT_PORT if args.port is None else args.port
+    try:
+        server = WorkerServer(host=args.host, port=port, cache_spec=args.cache)
+    except OSError as error:
+        print(f"cannot bind {args.host}:{port}: {error}")
+        return 1
+    print(f"worker serving shards on {args.host}:{server.port} "
+          f"(cache: {args.cache or 'dispatcher-shared'}); Ctrl-C to stop",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("stopping")
+    finally:
+        server.stop()
     return 0
 
 
@@ -339,6 +453,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_validate(args)
     if args.command == "clean":
         return _command_clean(args.cache_dir)
+    if args.command == "worker":
+        return _command_worker(args)
     return _command_run(args)
 
 

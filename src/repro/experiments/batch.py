@@ -157,6 +157,22 @@ BATCHABLE_RUNNERS: dict[str, TrafficAdapter] = {
 }
 
 
+def spec_group_key(spec: ExperimentSpec) -> tuple | None:
+    """The batch-group key of ``spec``, or ``None`` when unbatchable.
+
+    Two specs with equal (non-``None``) keys can share one compiled
+    network and cycle loop — the contract both :class:`BatchRunner` and
+    the distributed shard planner
+    (:func:`repro.experiments.distributed.shards.plan_shards`) group by,
+    so a shard shipped to a remote worker still gets per-shard
+    ``SimBatch``/``CompiledSimBatch`` packing.
+    """
+    adapter = BATCHABLE_RUNNERS.get(spec.runner)
+    if adapter is None:
+        return None
+    return (spec.runner,) + adapter.group_key(spec.params)
+
+
 def plan_batches(specs: Iterable[ExperimentSpec]) -> list[list[int]]:
     """The index groups a :class:`BatchRunner` would form over ``specs``.
 
@@ -171,11 +187,9 @@ def plan_batches(specs: Iterable[ExperimentSpec]) -> list[list[int]]:
     groups: dict[tuple, list[int]] = {}
     order: list[tuple] = []
     for index, spec in enumerate(specs):
-        adapter = BATCHABLE_RUNNERS.get(spec.runner)
-        if adapter is None:
+        key = spec_group_key(spec)
+        if key is None:
             key = ("__unbatchable__", index)
-        else:
-            key = (spec.runner,) + adapter.group_key(spec.params)
         if key not in groups:
             order.append(key)
         groups.setdefault(key, []).append(index)
@@ -227,12 +241,10 @@ class BatchRunner:
         groups: dict[tuple, list[int]] = {}
         leftovers: list[int] = []
         for index in miss_indices:
-            spec = spec_list[index]
-            adapter = BATCHABLE_RUNNERS.get(spec.runner)
-            if adapter is None:
+            key = spec_group_key(spec_list[index])
+            if key is None:
                 leftovers.append(index)
             else:
-                key = (spec.runner,) + adapter.group_key(spec.params)
                 groups.setdefault(key, []).append(index)
 
         for key, indices in groups.items():

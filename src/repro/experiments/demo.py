@@ -28,3 +28,44 @@ def power(*, base: float, exponent: int = 2) -> float:
     9
     """
     return base**exponent
+
+
+def slow_multiply(*, a: float, b: float = 1.0, delay_s: float = 0.0) -> float:
+    """Return ``a * b`` after sleeping ``delay_s`` seconds.
+
+    Exists for the scheduling tests: a deliberately slow point exposes
+    head-of-line blocking (a fast point finishing behind a slow one must
+    still report progress first) and gives the lease/steal machinery
+    something worth stealing.
+
+    Examples
+    --------
+    >>> slow_multiply(a=6, b=7)
+    42
+    """
+    import time
+
+    if delay_s:
+        time.sleep(delay_s)
+    return a * b
+
+
+def crash_once(*, flag_path: str, a: float, b: float = 1.0) -> float:
+    """Return ``a * b`` — but SIGKILL the process on the first-ever call.
+
+    The crash-recovery tests run this through a distributed worker: the
+    first process to execute the point creates ``flag_path`` and kills
+    itself mid-shard (no exception, no cleanup — exactly like an OOM
+    kill), so the shard's lease expires and the scheduler requeues it.
+    The retry sees the flag file and completes normally, proving the
+    requeue lost no results and duplicated none.
+    """
+    import os
+    import signal
+    from pathlib import Path
+
+    flag = Path(flag_path)
+    if not flag.exists():
+        flag.write_text(str(os.getpid()))
+        os.kill(os.getpid(), signal.SIGKILL)
+    return a * b

@@ -1,0 +1,251 @@
+"""Client/server cache backend: one warm result cache shared by all workers.
+
+The dispatcher wraps its local cache (disk or memory) in a
+:class:`CacheServer` — a tiny threaded TCP service speaking the same
+length-prefixed-pickle framing as the worker transport — and advertises
+the port inside every shard message.  Workers without a cache of their
+own attach a :class:`CacheClient`, so every ``get``/``put`` lands in the
+*dispatcher's* cache: a point computed by one worker is a cache hit for
+every other worker (and for the requeued copy of a crashed shard), and
+remote machines never recompute each other's points.
+
+The client degrades instead of failing: if the server becomes
+unreachable mid-run, ``get`` returns a miss and ``put`` becomes a no-op
+— the worker recomputes a little more but the sweep still finishes.
+Protocol: ``("get", key)`` -> ``("hit", value)`` | ``("miss",)``;
+``("put", key, value)`` -> ``("ok",)``; ``("len",)`` -> ``("len", n)``;
+``("ping",)`` -> ``("pong",)``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.cache import (
+    MISS,
+    CacheBackend,
+    CacheStats,
+    MemoryCache,
+    ResultCache,
+    default_cache_dir,
+)
+from repro.experiments.distributed.transport import (
+    SocketStream,
+    StreamClosed,
+    connect,
+)
+
+
+class CacheServer:
+    """Serve a :class:`~repro.experiments.cache.CacheBackend` over TCP.
+
+    Parameters
+    ----------
+    backend : CacheBackend
+        The store every connection reads and writes (must be safe for
+        concurrent use: :class:`MemoryCache` locks internally,
+        :class:`ResultCache` relies on atomic replace).
+    host : str
+        Bind address; ``"0.0.0.0"`` to serve remote machines,
+        ``"127.0.0.1"`` (the default) for loopback-only runs.
+    port : int
+        Bind port; ``0`` (the default) picks an ephemeral port —
+        read the chosen one back from :attr:`port`.
+
+    Examples
+    --------
+    >>> server = CacheServer(MemoryCache()).start()
+    >>> client = CacheClient("127.0.0.1", server.port)
+    >>> client.put("k" * 64, {"cycles": 7})
+    >>> client.get("k" * 64)
+    {'cycles': 7}
+    >>> server.stop()
+    """
+
+    def __init__(
+        self,
+        backend: CacheBackend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.backend = backend
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen()
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._running = False
+        self._threads: list[threading.Thread] = []
+
+    def start(self) -> "CacheServer":
+        """Begin accepting connections on a daemon thread; returns self."""
+        self._running = True
+        acceptor = threading.Thread(
+            target=self._accept_loop, name="cache-server-accept", daemon=True
+        )
+        acceptor.start()
+        self._threads.append(acceptor)
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting and close the listening socket."""
+        self._running = False
+        try:
+            # shutdown() wakes the thread blocked in accept(); close()
+            # alone would leave the kernel socket listening until that
+            # thread returns (its accept call holds a reference).
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            handler = threading.Thread(
+                target=self._serve_connection,
+                args=(SocketStream(sock),),
+                name="cache-server-conn",
+                daemon=True,
+            )
+            handler.start()
+            self._threads.append(handler)
+
+    def _serve_connection(self, stream: SocketStream) -> None:
+        try:
+            while True:
+                message = stream.recv()
+                kind = message[0]
+                if kind == "get":
+                    value = self.backend.get(message[1])
+                    if value is MISS:
+                        stream.send(("miss",))
+                    else:
+                        stream.send(("hit", value))
+                elif kind == "put":
+                    self.backend.put(message[1], message[2])
+                    stream.send(("ok",))
+                elif kind == "len":
+                    stream.send(("len", len(self.backend)))  # type: ignore[arg-type]
+                elif kind == "ping":
+                    stream.send(("pong",))
+                else:
+                    stream.send(("error", f"unknown request {kind!r}"))
+        except (StreamClosed, EOFError):
+            pass  # client went away; nothing to clean up
+        finally:
+            stream.close()
+
+
+class CacheClient:
+    """A :class:`CacheBackend` talking to a remote :class:`CacheServer`.
+
+    One persistent connection, opened lazily and guarded by a lock (the
+    protocol is strict request/response).  Transport failures flip the
+    client into a degraded mode — misses and dropped puts — rather than
+    failing the shard that was only trying to use the cache.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.stats = CacheStats()
+        self._stream: SocketStream | None = None
+        self._lock = threading.Lock()
+        self._dead = False
+
+    def _request(self, message: tuple) -> tuple | None:
+        """One request/response round trip; None once degraded."""
+        with self._lock:
+            if self._dead:
+                return None
+            try:
+                if self._stream is None:
+                    self._stream = connect(self.host, self.port, self.timeout)
+                self._stream.send(message)
+                return self._stream.recv(timeout=self.timeout)
+            except (StreamClosed, TimeoutError, OSError):
+                self._dead = True
+                if self._stream is not None:
+                    self._stream.close()
+                    self._stream = None
+                return None
+
+    def get(self, key: str) -> Any:
+        """Return the server's value for ``key``, or :data:`MISS`."""
+        reply = self._request(("get", key))
+        if reply is not None and reply[0] == "hit":
+            self.stats.hits += 1
+            return reply[1]
+        self.stats.misses += 1
+        return MISS
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` on the server (dropped when degraded)."""
+        if self._request(("put", key, value)) is not None:
+            self.stats.stores += 1
+
+    def ping(self) -> bool:
+        """Whether the server currently answers."""
+        reply = self._request(("ping",))
+        return reply is not None and reply[0] == "pong"
+
+    def __len__(self) -> int:
+        """Number of entries the server reports (0 when degraded)."""
+        reply = self._request(("len",))
+        return reply[1] if reply is not None and reply[0] == "len" else 0
+
+    def close(self) -> None:
+        """Close the connection (the client can reconnect on next use)."""
+        with self._lock:
+            if self._stream is not None:
+                self._stream.close()
+                self._stream = None
+
+
+def parse_cache_spec(spec: str | None) -> CacheBackend | None:
+    """Build a cache backend from a ``--cache`` CLI spec.
+
+    Accepted forms: ``"none"`` (no cache), ``"disk"`` (default
+    directory), ``"disk:/path"``, ``"memory"``, ``"memory:512"``
+    (capacity), and ``"tcp://host:port"`` (a :class:`CacheClient`).
+
+    Examples
+    --------
+    >>> parse_cache_spec("none") is None
+    True
+    >>> parse_cache_spec("memory:64").max_entries
+    64
+    """
+    if spec is None or spec == "none":
+        return None
+    if spec == "disk":
+        return ResultCache(default_cache_dir())
+    if spec.startswith("disk:"):
+        return ResultCache(Path(spec[len("disk:"):]))
+    if spec == "memory":
+        return MemoryCache()
+    if spec.startswith("memory:"):
+        return MemoryCache(max_entries=int(spec[len("memory:"):]))
+    if spec.startswith("tcp://"):
+        address = spec[len("tcp://"):]
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"bad cache spec {spec!r}: expected tcp://host:port"
+            )
+        return CacheClient(host, int(port))
+    raise ValueError(
+        f"bad cache spec {spec!r}: expected none, disk[:dir], "
+        f"memory[:entries] or tcp://host:port"
+    )

@@ -1,0 +1,271 @@
+"""Work-stealing shard scheduler with a lease/heartbeat/requeue protocol.
+
+The scheduler is pure bookkeeping — it never talks to a socket or spawns
+a process.  The dispatcher's channel threads drive it:
+
+* :meth:`ShardScheduler.lease` hands an idle worker its next shard —
+  from the worker's own queue first, else *stolen* from the back of the
+  longest other queue (classic work stealing: owners pop from the front,
+  thieves steal from the back, so the two rarely contend for the same
+  shard).
+* :meth:`ShardScheduler.heartbeat` extends a running shard's lease; a
+  lease that is neither completed nor renewed within ``lease_s`` is
+  considered lost (worker crash, hang, or network partition) and
+  :meth:`ShardScheduler.expire` requeues the shard at the front of its
+  home queue.
+* :meth:`ShardScheduler.complete` is **idempotent**: results land under
+  content-addressed spec keys, so a late completion from a presumed-dead
+  worker is simply ignored when the requeued copy already finished (and
+  accepted when it has not — whichever copy finishes first wins, both
+  compute identical values).
+
+A shard requeued more than ``max_requeues`` times is *poisoned* — handed
+back to the dispatcher for a final serial attempt in-process, where a
+deterministic failure surfaces as a real traceback instead of an
+infinite requeue loop.
+
+Every transition feeds the observability counters (``steals``,
+``requeues``, per-worker shard/point tallies) that
+:class:`repro.experiments.executor.ExecutionReport` surfaces on the CLI.
+The clock is injectable so the lease state machine is unit-testable
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.experiments.distributed.shards import Shard
+
+
+@dataclass
+class Lease:
+    """One outstanding shard assignment: who runs it and until when."""
+
+    shard: Shard
+    worker: str
+    deadline: float
+
+
+class ShardScheduler:
+    """Thread-safe work-stealing scheduler over a fixed set of shards.
+
+    Parameters
+    ----------
+    shards : iterable of Shard
+        The planned work units; assigned round-robin to worker home
+        queues in the given (largest-first) order.
+    workers : sequence of str
+        Worker names; each gets a home queue.
+    lease_s : float
+        Seconds a lease stays valid without a heartbeat or completion.
+    max_requeues : int
+        Requeues after which a shard is poisoned instead of retried.
+    clock : callable
+        Monotonic time source (injectable for tests).
+
+    Examples
+    --------
+    >>> shards = [Shard(0, (0, 1)), Shard(1, (2,))]
+    >>> scheduler = ShardScheduler(shards, workers=["a", "b"])
+    >>> scheduler.lease("a").shard_id
+    0
+    >>> scheduler.lease("b").shard_id
+    1
+    >>> scheduler.complete(0, "a"), scheduler.complete(0, "a")
+    (True, False)
+    """
+
+    def __init__(
+        self,
+        shards: Iterable[Shard],
+        workers: Sequence[str],
+        lease_s: float = 30.0,
+        max_requeues: int = 3,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not workers:
+            raise ValueError("scheduler needs at least one worker")
+        self.lease_s = lease_s
+        self.max_requeues = max_requeues
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._queues: dict[str, deque[Shard]] = {name: deque() for name in workers}
+        for position, shard in enumerate(shards):
+            home = list(workers)[position % len(workers)]
+            self._queues[home].append(shard)
+        self._leases: dict[int, Lease] = {}
+        self._completed: set[int] = set()
+        self._requeue_counts: dict[int, int] = {}
+        self._poisoned: list[Shard] = []
+        self.steals = 0
+        self.requeues = 0
+        self.per_worker: dict[str, dict] = {
+            name: {"shards": 0, "points": 0} for name in workers
+        }
+
+    # ------------------------------------------------------------------ #
+    # Worker-facing transitions
+    # ------------------------------------------------------------------ #
+
+    def lease(self, worker: str) -> Shard | None:
+        """Hand ``worker`` its next shard, stealing when its queue is dry.
+
+        Returns ``None`` when no shard is currently available — which
+        means either the run is finishing (check :attr:`finished`) or
+        every remaining shard is leased out and might yet be requeued.
+        """
+        with self._lock:
+            self._expire_locked()
+            own = self._queues.get(worker)
+            if own is None:
+                raise KeyError(f"unknown worker {worker!r}")
+            shard = self._pop_next(own)
+            if shard is None:
+                victim = max(
+                    (queue for name, queue in self._queues.items() if name != worker),
+                    key=len,
+                    default=None,
+                )
+                if victim:
+                    shard = self._pop_next(victim, from_back=True)
+                    if shard is not None:
+                        self.steals += 1
+            if shard is None:
+                return None
+            self._leases[shard.shard_id] = Lease(
+                shard=shard, worker=worker, deadline=self._clock() + self.lease_s
+            )
+            return shard
+
+    def heartbeat(self, shard_id: int, worker: str) -> bool:
+        """Renew the lease on ``shard_id``; False when it is no longer held.
+
+        A False return tells the channel its worker lost the shard (the
+        lease expired and the shard was requeued) — the eventual result
+        may still be accepted by :meth:`complete` if it arrives first.
+        """
+        with self._lock:
+            lease = self._leases.get(shard_id)
+            if lease is None or lease.worker != worker:
+                return False
+            lease.deadline = self._clock() + self.lease_s
+            return True
+
+    def complete(self, shard_id: int, worker: str) -> bool:
+        """Record ``shard_id`` as done; returns False for duplicates.
+
+        First writer wins: the completion is accepted even when the
+        lease has expired or moved to another worker (the results are
+        deterministic and land under content-addressed keys, so any
+        copy is as good as any other).  A second completion of the same
+        shard — the *other* copy of a requeued shard finishing later —
+        is reported as a duplicate and must not be double-counted.
+        """
+        with self._lock:
+            if shard_id in self._completed:
+                return False
+            lease = self._leases.pop(shard_id, None)
+            shard = lease.shard if lease is not None else None
+            if shard is None:
+                shard = self._remove_queued_locked(shard_id)
+            if shard is None:
+                # Unknown id: never planned — a protocol error, not a race.
+                raise KeyError(f"completion for unknown shard {shard_id}")
+            self._completed.add(shard_id)
+            tally = self.per_worker.setdefault(worker, {"shards": 0, "points": 0})
+            tally["shards"] += 1
+            tally["points"] += shard.size
+            return True
+
+    def fail(self, worker: str) -> list[Shard]:
+        """Requeue every shard leased to a dead ``worker``; return them."""
+        with self._lock:
+            lost = [
+                lease for lease in self._leases.values() if lease.worker == worker
+            ]
+            for lease in lost:
+                del self._leases[lease.shard.shard_id]
+                self._requeue_locked(lease.shard)
+            return [lease.shard for lease in lost]
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher-facing state
+    # ------------------------------------------------------------------ #
+
+    def expire(self) -> list[Shard]:
+        """Requeue every lease past its deadline; return the shards."""
+        with self._lock:
+            return self._expire_locked()
+
+    def take_poisoned(self) -> list[Shard]:
+        """Drain the shards that exhausted their requeue budget."""
+        with self._lock:
+            poisoned, self._poisoned = self._poisoned, []
+            return poisoned
+
+    @property
+    def finished(self) -> bool:
+        """True once every planned shard is completed or poisoned.
+
+        Poisoned shards count as terminal here — they are out of the
+        scheduler's hands (the dispatcher gives them a final serial
+        attempt after the channels drain); keeping them in would leave
+        idle channels polling forever for work that will never requeue.
+        """
+        with self._lock:
+            return (
+                not self._leases
+                and all(not queue for queue in self._queues.values())
+            )
+
+    @property
+    def completed_count(self) -> int:
+        """Number of shards completed so far."""
+        with self._lock:
+            return len(self._completed)
+
+    # ------------------------------------------------------------------ #
+    # Internals (all called with the lock held)
+    # ------------------------------------------------------------------ #
+
+    def _pop_next(self, queue: deque, from_back: bool = False) -> Shard | None:
+        while queue:
+            shard = queue.pop() if from_back else queue.popleft()
+            if shard.shard_id not in self._completed:
+                return shard
+        return None
+
+    def _remove_queued_locked(self, shard_id: int) -> Shard | None:
+        for queue in self._queues.values():
+            for shard in queue:
+                if shard.shard_id == shard_id:
+                    queue.remove(shard)
+                    return shard
+        return None
+
+    def _requeue_locked(self, shard: Shard) -> None:
+        count = self._requeue_counts.get(shard.shard_id, 0) + 1
+        self._requeue_counts[shard.shard_id] = count
+        self.requeues += 1
+        if count > self.max_requeues:
+            self._poisoned.append(shard)
+            return
+        # Front of the *shortest* queue: the lost shard already waited a
+        # full lease, so it should restart as soon as any worker idles.
+        shortest = min(self._queues.values(), key=len)
+        shortest.appendleft(shard)
+
+    def _expire_locked(self) -> list[Shard]:
+        now = self._clock()
+        expired = [
+            lease for lease in self._leases.values() if lease.deadline < now
+        ]
+        for lease in expired:
+            del self._leases[lease.shard.shard_id]
+            self._requeue_locked(lease.shard)
+        return [lease.shard for lease in expired]

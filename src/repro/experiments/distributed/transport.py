@@ -1,0 +1,246 @@
+"""Message transport: length-prefixed pickle frames over pipes and sockets.
+
+Both worker backends speak the same message protocol (plain picklable
+tuples — see :mod:`repro.experiments.distributed.worker`); this module
+hides *how* the bytes move behind one tiny stream interface:
+
+* :class:`PipeStream` — a ``multiprocessing.Connection`` to a forked
+  local worker process.  The connection pickles messages natively.
+* :class:`SocketStream` — a TCP socket to a remote worker (or the cache
+  server), framed as an 8-byte big-endian length prefix followed by the
+  pickled payload.  Partial reads survive timeouts: the receive buffer
+  persists across :meth:`SocketStream.recv` calls, so a timeout mid-frame
+  never corrupts the framing.
+
+Two exceptions classify the failure modes the dispatcher cares about:
+:class:`StreamTimeout` (the peer is silent — possibly hung; the lease
+machinery decides) and :class:`StreamClosed` (the peer is gone; the
+shard is requeued immediately).
+
+``--workers`` specs are parsed here too: ``"4"`` means four forked local
+workers, ``"host:2"`` two TCP channels to ``host`` on the default port,
+``"host:7653:2"`` an explicit port, and a comma list mixes freely.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+#: Default TCP port of ``python -m repro.experiments worker``.
+DEFAULT_PORT = 7653
+
+#: 8-byte big-endian frame-length prefix.
+_HEADER = struct.Struct("!Q")
+
+#: Upper bound on a single frame (1 GiB): a corrupt or malicious length
+#: prefix fails fast instead of attempting a giant allocation.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class StreamClosed(ConnectionError):
+    """The peer closed the stream (EOF) or the transport failed."""
+
+
+class StreamTimeout(TimeoutError):
+    """No complete message arrived within the allowed time."""
+
+
+def dump_message(message: Any) -> bytes:
+    """Pickle ``message`` into one length-prefixed frame.
+
+    Examples
+    --------
+    >>> frame = dump_message(("ping",))
+    >>> load_frame_length(frame[:8]) == len(frame) - 8
+    True
+    """
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(len(payload)) + payload
+
+
+def load_frame_length(header: bytes) -> int:
+    """Decode a frame's length prefix, validating it against the bound."""
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise StreamClosed(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte bound "
+            "(corrupt stream?)"
+        )
+    return length
+
+
+class PipeStream:
+    """Message stream over a ``multiprocessing.Connection``."""
+
+    #: Local worker processes always share loopback with the dispatcher.
+    peer_host = "127.0.0.1"
+
+    def __init__(self, connection) -> None:
+        self._connection = connection
+
+    def send(self, message: Any) -> None:
+        """Send one message; raises :class:`StreamClosed` on a dead peer."""
+        try:
+            self._connection.send(message)
+        except (BrokenPipeError, OSError) as error:
+            raise StreamClosed(str(error)) from error
+
+    def recv(self, timeout: float | None = None) -> Any:
+        """Receive one message, waiting at most ``timeout`` seconds."""
+        try:
+            if timeout is not None and not self._connection.poll(timeout):
+                raise StreamTimeout(f"no message within {timeout} s")
+            return self._connection.recv()
+        except (EOFError, BrokenPipeError, OSError) as error:
+            raise StreamClosed(str(error)) from error
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+
+class SocketStream:
+    """Length-prefixed pickle frames over a TCP socket.
+
+    The receive path is a resumable state machine: bytes accumulate in
+    an internal buffer until a whole frame is present, so a timeout in
+    the middle of a frame leaves the buffer intact and the next
+    :meth:`recv` picks up exactly where the last one stopped.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._socket = sock
+        self._buffer = bytearray()
+        try:
+            peer = sock.getpeername()
+        except OSError:
+            peer = None
+        # AF_UNIX peers (socketpair tests) report a path or "", not a
+        # (host, port) tuple; anything non-TCP counts as loopback.
+        self.peer_host = (
+            peer[0] if isinstance(peer, tuple) and peer else "127.0.0.1"
+        )
+
+    def send(self, message: Any) -> None:
+        """Send one framed message; raises :class:`StreamClosed` on failure."""
+        try:
+            self._socket.sendall(dump_message(message))
+        except OSError as error:
+            raise StreamClosed(str(error)) from error
+
+    def recv(self, timeout: float | None = None) -> Any:
+        """Receive one framed message, waiting at most ``timeout`` seconds."""
+        self._fill(_HEADER.size, timeout)
+        length = load_frame_length(bytes(self._buffer[: _HEADER.size]))
+        self._fill(_HEADER.size + length, timeout)
+        payload = bytes(self._buffer[_HEADER.size : _HEADER.size + length])
+        del self._buffer[: _HEADER.size + length]
+        return pickle.loads(payload)
+
+    def _fill(self, needed: int, timeout: float | None) -> None:
+        """Grow the buffer to ``needed`` bytes (buffer survives timeouts)."""
+        while len(self._buffer) < needed:
+            try:
+                self._socket.settimeout(timeout)
+                chunk = self._socket.recv(65536)
+            except socket.timeout as error:
+                raise StreamTimeout(f"no message within {timeout} s") from error
+            except OSError as error:
+                raise StreamClosed(str(error)) from error
+            if not chunk:
+                raise StreamClosed("peer closed the connection")
+            self._buffer.extend(chunk)
+
+    def close(self) -> None:
+        """Close the underlying socket."""
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+
+def connect(host: str, port: int, timeout: float = 10.0) -> SocketStream:
+    """Open a :class:`SocketStream` to ``host:port``.
+
+    Raises
+    ------
+    StreamClosed
+        When the connection cannot be established within ``timeout``.
+    """
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError as error:
+        raise StreamClosed(f"cannot reach worker at {host}:{port}: {error}") from error
+    return SocketStream(sock)
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """One parsed ``--workers`` entry: where a worker lives, how many channels.
+
+    ``host is None`` means forked local worker processes; otherwise TCP
+    channels to a ``python -m repro.experiments worker`` server.
+    """
+
+    host: str | None
+    port: int
+    count: int
+
+    @property
+    def local(self) -> bool:
+        """Whether this entry spawns local processes instead of dialing TCP."""
+        return self.host is None
+
+
+def parse_workers(spec: str | int) -> list[WorkerSpec]:
+    """Parse a ``--workers`` value into :class:`WorkerSpec` entries.
+
+    Accepts a bare integer (that many forked local workers), a
+    ``host:n`` pair, a ``host:port:n`` triple, or a comma-separated mix.
+
+    Examples
+    --------
+    >>> parse_workers(3)
+    [WorkerSpec(host=None, port=0, count=3)]
+    >>> parse_workers("2,node1:4,node2:7700:2")  # doctest: +NORMALIZE_WHITESPACE
+    [WorkerSpec(host=None, port=0, count=2),
+     WorkerSpec(host='node1', port=7653, count=4),
+     WorkerSpec(host='node2', port=7700, count=2)]
+    """
+    if isinstance(spec, int):
+        if spec < 1:
+            raise ValueError(f"worker count must be positive, got {spec}")
+        return [WorkerSpec(host=None, port=0, count=spec)]
+    entries: list[WorkerSpec] = []
+    for raw in str(spec).split(","):
+        entry = raw.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        try:
+            if len(parts) == 1:
+                entries.append(WorkerSpec(None, 0, int(parts[0])))
+            elif len(parts) == 2:
+                entries.append(WorkerSpec(parts[0], DEFAULT_PORT, int(parts[1])))
+            elif len(parts) == 3:
+                entries.append(WorkerSpec(parts[0], int(parts[1]), int(parts[2])))
+            else:
+                raise ValueError(entry)
+        except ValueError:
+            raise ValueError(
+                f"bad --workers entry {entry!r}: expected N, host:n or "
+                f"host:port:n (e.g. '4' or 'node1:2,node2:7700:4')"
+            ) from None
+        if entries[-1].count < 1:
+            raise ValueError(
+                f"bad --workers entry {entry!r}: channel count must be positive"
+            )
+    if not entries:
+        raise ValueError(f"--workers spec {spec!r} names no workers")
+    return entries

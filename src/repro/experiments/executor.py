@@ -4,8 +4,8 @@ The :class:`Executor` is the single code path every evaluation driver runs
 through.  Given a list of :class:`~repro.experiments.spec.ExperimentSpec`,
 it:
 
-1. looks each spec up in the :class:`~repro.experiments.cache.ResultCache`
-   (when one is attached),
+1. looks each spec up in the attached
+   :class:`~repro.experiments.cache.CacheBackend` (when one is attached),
 2. computes the misses — in-process when ``workers <= 1``, otherwise over a
    ``multiprocessing`` pool (one task per point; the simulator is pure
    Python, so process-level parallelism is the only way past the GIL), and
@@ -20,23 +20,39 @@ execution produce identical results — a property the test-suite asserts.
 from __future__ import annotations
 
 import multiprocessing
+import queue
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.experiments.cache import MISS, ResultCache
+from repro.experiments.cache import MISS, CacheBackend
 from repro.experiments.spec import ExperimentSpec, execute_spec
 
 
 @dataclass
 class ExecutionReport:
-    """What one :meth:`Executor.run` call did: hits, misses, timing."""
+    """What one :meth:`Executor.run` call did: hits, misses, timing.
+
+    Distributed runs (:class:`repro.experiments.distributed.DistributedExecutor`)
+    additionally fill the scheduler counters: how many shards the sweep
+    split into, how many leases were stolen from another worker's queue,
+    how many shards were requeued after a crash or an expired lease, and
+    the per-worker shard/point tallies.
+    """
 
     total: int = 0
     cache_hits: int = 0
     computed: int = 0
     workers: int = 1
     elapsed_s: float = 0.0
+    #: Work units the sweep was split into (0 for non-distributed runs).
+    shards: int = 0
+    #: Shards a worker pulled from another worker's queue.
+    steals: int = 0
+    #: Shards put back on a queue after a crash or an expired lease.
+    requeues: int = 0
+    #: Per-worker tallies: worker name -> {"shards": n, "points": m}.
+    per_worker: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         """One-line summary for CLI output.
@@ -46,13 +62,41 @@ class ExecutionReport:
         >>> ExecutionReport(total=4, cache_hits=3, computed=1, workers=2,
         ...                 elapsed_s=0.5).summary()
         '4 points: 3 cached, 1 computed on 2 workers in 0.5 s'
+        >>> ExecutionReport(total=4, computed=4, workers=2, elapsed_s=1.0,
+        ...                 shards=3, steals=1, requeues=0).summary()
+        '4 points: 0 cached, 4 computed on 2 workers in 1.0 s (3 shards, 1 steal, 0 requeues)'
         """
-        return (
+        line = (
             f"{self.total} point{'s' if self.total != 1 else ''}: "
             f"{self.cache_hits} cached, {self.computed} computed on "
             f"{self.workers} worker{'s' if self.workers != 1 else ''} "
             f"in {self.elapsed_s:.1f} s"
         )
+        if self.shards:
+            line += (
+                f" ({self.shards} shard{'s' if self.shards != 1 else ''}, "
+                f"{self.steals} steal{'s' if self.steals != 1 else ''}, "
+                f"{self.requeues} requeue{'s' if self.requeues != 1 else ''})"
+            )
+        return line
+
+    def worker_lines(self) -> list[str]:
+        """Per-worker shard/point tallies for CLI output, one line each.
+
+        Examples
+        --------
+        >>> report = ExecutionReport(per_worker={
+        ...     "local-0": {"shards": 2, "points": 8}})
+        >>> report.worker_lines()
+        ['local-0: 2 shards, 8 points']
+        """
+        return [
+            f"{name}: {tally.get('shards', 0)} shard"
+            f"{'s' if tally.get('shards', 0) != 1 else ''}, "
+            f"{tally.get('points', 0)} point"
+            f"{'s' if tally.get('points', 0) != 1 else ''}"
+            for name, tally in sorted(self.per_worker.items())
+        ]
 
 
 class Executor:
@@ -65,8 +109,12 @@ class Executor:
         in-process with no ``multiprocessing`` involvement at all — the
         serial fallback used by tests and library callers.  ``0`` or a
         negative value selects ``os.cpu_count()``.
-    cache : ResultCache, optional
-        Result cache consulted before computing and updated after.
+    cache : CacheBackend, optional
+        Result cache consulted before computing and updated after — any
+        :class:`~repro.experiments.cache.CacheBackend` (on-disk
+        :class:`~repro.experiments.cache.ResultCache`, in-memory
+        :class:`~repro.experiments.cache.MemoryCache`, or a remote
+        :class:`~repro.experiments.distributed.cacheserver.CacheClient`).
         ``None`` (the default) disables caching entirely.
     mp_context : multiprocessing context, optional
         Context used to create the pool (e.g.
@@ -86,7 +134,7 @@ class Executor:
     def __init__(
         self,
         workers: int = 1,
-        cache: ResultCache | None = None,
+        cache: CacheBackend | None = None,
         mp_context=None,
     ) -> None:
         if workers <= 0:
@@ -199,7 +247,14 @@ class Executor:
         specs: Sequence[ExperimentSpec],
         progress: Callable[[ExperimentSpec, Any], None] | None,
     ) -> list[Any]:
-        """Run the cache misses, serially or on the pool."""
+        """Run the cache misses, serially or on the pool.
+
+        Parallel results are collected in *completion* order through the
+        pool's result callbacks — a slow first task can no longer stall
+        the ``progress`` callbacks of every faster task behind it
+        (head-of-line blocking) — while the returned list stays aligned
+        with the input order.
+        """
         if self.workers <= 1 or len(specs) <= 1:
             outputs = []
             for spec in specs:
@@ -211,12 +266,22 @@ class Executor:
         processes = min(self.workers, len(specs))
         with self._mp_context.Pool(processes=processes) as pool:
             outputs = [None] * len(specs)
-            pending = [
-                (index, pool.apply_async(execute_spec, (spec,)))
-                for index, spec in enumerate(specs)
-            ]
-            for index, handle in pending:
-                value = handle.get()
+            completions: queue.Queue = queue.Queue()
+            for index, spec in enumerate(specs):
+                pool.apply_async(
+                    execute_spec,
+                    (spec,),
+                    callback=lambda value, index=index: completions.put(
+                        (index, value, None)
+                    ),
+                    error_callback=lambda error, index=index: completions.put(
+                        (index, None, error)
+                    ),
+                )
+            for _ in range(len(specs)):
+                index, value, error = completions.get()
+                if error is not None:
+                    raise error
                 outputs[index] = value
                 if progress is not None:
                     progress(specs[index], value)
@@ -226,7 +291,7 @@ class Executor:
 def run_sweep(
     sweep,
     workers: int = 1,
-    cache: ResultCache | None = None,
+    cache: CacheBackend | None = None,
 ) -> list[Any]:
     """Convenience wrapper: expand ``sweep`` and run it on a fresh executor.
 

@@ -66,7 +66,10 @@ class ExperimentDefinition:
         fronted by a :class:`~repro.experiments.batch.BatchRunner`, which
         advances compatible traffic points of the sweep as one batched
         engine group and leaves every other point (and the cache protocol)
-        with the plain executor.
+        with the plain executor.  Executors that batch internally —
+        :class:`repro.experiments.distributed.DistributedExecutor` cuts
+        its shards along the same batch-group boundaries and packs them
+        worker-side — declare ``handles_batching`` and are never wrapped.
 
         Examples
         --------
@@ -77,7 +80,9 @@ class ExperimentDefinition:
         True
         """
         specs = self.build_sweep(settings).specs()
-        if settings.engine in ("batch", "compiled"):
+        if getattr(executor, "handles_batching", False):
+            results = executor.run(specs)
+        elif settings.engine in ("batch", "compiled"):
             from repro.experiments.batch import BatchRunner
 
             runner = BatchRunner(executor)

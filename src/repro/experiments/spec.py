@@ -28,6 +28,7 @@ import importlib
 import inspect
 import json
 from dataclasses import dataclass, field
+from functools import cached_property
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
@@ -189,9 +190,18 @@ class ExperimentSpec:
     params: dict = field(default_factory=dict)
     name: str = ""
 
-    @property
+    @cached_property
     def key(self) -> str:
-        """Stable cache key: SHA-256 over runner, params, and program source."""
+        """Stable cache key: SHA-256 over runner, params, and program source.
+
+        Cached per instance (``cached_property`` writes straight into the
+        instance ``__dict__``, bypassing the frozen-dataclass guard): the
+        cache scan, the shard planner and every ``cache.put`` all read the
+        key of the same spec, and the canonical-JSON + SHA-256 round trip
+        is not free.  The key is a pure function of the spec and the
+        source tree, so a cached copy travelling to a worker process in
+        the spec's pickled ``__dict__`` stays correct.
+        """
         payload = canonical_json(
             {
                 "runner": self.runner,

@@ -19,6 +19,16 @@ from repro.experiments import (
 from repro.experiments.registry import EXPERIMENTS
 
 
+def _hammer_cache(root: str, key: str, seed: int) -> None:
+    """Child-process body of the multi-process cache-contention test."""
+    cache = ResultCache(root)
+    payload = bytes([seed]) * 8192
+    for _ in range(100):
+        cache.put(key, payload)
+        value = cache.get(key)
+        assert value is not MISS and len(value) == 8192
+
+
 class TestSpec:
     def test_resolve_runner_imports_the_function(self):
         assert resolve_runner("math:gcd")(12, 8) == 4
@@ -162,6 +172,64 @@ class TestResultCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         assert ResultCache().root == tmp_path
 
+    def test_concurrent_threaded_puts_to_one_key_stay_readable(self, tmp_path):
+        # Two threads share a pid, so the temporary-file name must carry
+        # more than the pid or their in-flight writes collide.
+        import threading
+
+        cache = ResultCache(tmp_path)
+        errors = []
+
+        def hammer(value):
+            try:
+                for _ in range(200):
+                    cache.put(self.KEY, value)
+                    got = cache.get(self.KEY)
+                    assert got in (b"x" * 4096, b"y" * 4096)
+            except Exception as error:  # noqa: BLE001 — collected for the assert
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(payload,))
+            for payload in (b"x" * 4096, b"y" * 4096)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert not list(tmp_path.glob("*/*.tmp.*"))  # no orphans left
+
+    def test_concurrent_multiprocess_puts_to_one_key_stay_atomic(self, tmp_path):
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        processes = [
+            context.Process(target=_hammer_cache, args=(str(tmp_path), self.KEY, seed))
+            for seed in range(4)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join()
+        assert all(process.exitcode == 0 for process in processes)
+        cache = ResultCache(tmp_path)
+        value = cache.get(self.KEY)
+        assert value is not MISS
+        assert value in [bytes([seed]) * 8192 for seed in range(4)]
+        assert not list(tmp_path.glob("*/*.tmp.*"))
+
+    def test_put_survives_losing_its_memoised_shard_directory(self, tmp_path):
+        # A concurrent cleanup may remove the shard directory after this
+        # instance memoised its mkdir; the next put must recreate it.
+        import shutil
+
+        cache = ResultCache(tmp_path)
+        cache.put(self.KEY, 1)
+        shutil.rmtree(tmp_path / self.KEY[:2])
+        cache.put(self.KEY, 2)
+        assert cache.get(self.KEY) == 2
+
 
 class TestExecutor:
     def sweep(self):
@@ -205,6 +273,31 @@ class TestExecutor:
         executor.run(self.sweep())
         summary = executor.last_report.summary()
         assert "3 points" in summary and "3 computed" in summary
+
+    def test_slow_first_point_does_not_block_progress_of_fast_ones(self):
+        # Head-of-line regression check: results are collected in
+        # completion order, so the fast points report progress while the
+        # deliberately slow first point is still running — yet the
+        # returned list stays aligned with the input order.
+        specs = [
+            ExperimentSpec(
+                "repro.experiments.demo:slow_multiply",
+                {"a": 1, "b": 10, "delay_s": 1.5},
+            )
+        ] + [
+            ExperimentSpec(
+                "repro.experiments.demo:slow_multiply",
+                {"a": a, "b": 10, "delay_s": 0.0},
+            )
+            for a in (2, 3, 4)
+        ]
+        seen = []
+        executor = Executor(workers=2)
+        results = executor.run(specs, progress=lambda spec, value: seen.append(value))
+        assert results == [10, 20, 30, 40]  # input order regardless
+        # The slow first point must finish last in completion order.
+        assert seen[-1] == 10
+        assert sorted(seen) == [10, 20, 30, 40]
 
 
 class TestTrafficSweepsThroughEngine:
