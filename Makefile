@@ -6,6 +6,7 @@
 #   make bench      benchmark harness (regenerates every figure/table)
 #   make bench-engine  engine + batch + topology benchmarks + enforced report
 #   make distributed-smoke  distributed executor vs serial: identity + crash recovery
+#   make service-smoke  HTTP sweep service end to end: submit/stream/fetch vs direct run
 #   make fuzz       bounded differential fuzz of the four engines
 #   make validate   statistical golden-band validation (repro.validation)
 #   make validate-update  re-measure and re-commit the golden bands
@@ -28,8 +29,8 @@ FUZZ_BUDGET ?= 25
 # make a failing build pass.
 COV_MIN ?= 92
 
-.PHONY: test ci coverage bench bench-engine distributed-smoke fuzz \
-	validate validate-update lint docs-lint figures clean-cache
+.PHONY: test ci coverage bench bench-engine distributed-smoke service-smoke \
+	fuzz validate validate-update lint docs-lint figures clean-cache
 
 # The trailing bench report is informational in the test flow: it runs
 # whether or not pytest passed, but the target's exit status is always
@@ -81,6 +82,15 @@ distributed-smoke:
 	$(PYTHON) -m pytest -q benchmarks/test_perf_distributed.py
 	$(PYTHON) tools/bench_report.py
 
+# Sweep-service smoke: the job-layer unit tests, then the end-to-end HTTP
+# path — boot `serve` on an ephemeral port, submit the fig5 smoke sweep,
+# stream its NDJSON events to completion, byte-compare every
+# /results/{key} pickle against a direct Executor run, and prove an
+# identical resubmission is served from the cache with zero recomputes.
+service-smoke:
+	$(PYTHON) -m pytest -x -q tests/test_service.py
+	$(PYTHON) tools/service_smoke.py
+
 # Property-based differential fuzzing: FUZZ_BUDGET configurations sampled
 # from the registries' whole space, each run on all four engines and
 # compared flit for flit.  Failures shrink and print a one-line
@@ -117,17 +127,17 @@ docs-lint:
 		$(PYTHON) -m ruff check --select D100,D101,D102,D103,D104 \
 			src/repro/experiments src/repro/evaluation \
 			src/repro/engine src/repro/workloads src/repro/topologies \
-			src/repro/validation tools; \
+			src/repro/validation src/repro/service tools; \
 	elif $(PYTHON) -c "import pydocstyle" >/dev/null 2>&1; then \
 		$(PYTHON) -m pydocstyle --select D100,D101,D102,D103,D104 \
 			src/repro/experiments src/repro/evaluation src/repro/engine \
 			src/repro/workloads src/repro/topologies \
-			src/repro/validation tools; \
+			src/repro/validation src/repro/service tools; \
 	else \
 		$(PYTHON) tools/docs_lint.py src/repro/experiments src/repro/evaluation \
 			src/repro/traffic src/repro/kernels src/repro/engine \
 			src/repro/workloads src/repro/topologies \
-			src/repro/validation tools; \
+			src/repro/validation src/repro/service tools; \
 	fi
 
 figures:

@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments run --dispatch -w 4 # 4 work-stealing workers
     python -m repro.experiments run --dispatch --workers node1:2,node2:7700:4
     python -m repro.experiments worker --port 7653  # serve shards over TCP
+    python -m repro.experiments serve --port 7654   # HTTP sweep service
     python -m repro.experiments run fig5 --pattern tornado --injector bursty
     python -m repro.experiments run workloads --engine vector  # full catalogue
     python -m repro.experiments run topologies      # every topology family
@@ -176,6 +177,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-side cache backend: none, disk[:dir], "
              "memory[:entries] or tcp://host:port (default: adopt the "
              "dispatcher's shared cache server)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve sweeps over HTTP (submit, stream progress, fetch results)",
+        description="Run the sweep service: POST /sweeps submits an "
+                    "experiment or raw sweep (deduplicated by "
+                    "content-addressed cache keys), GET /sweeps/{id}/events "
+                    "streams NDJSON progress, GET /results/{key} serves "
+                    "pickled results by content hash.  See "
+                    "docs/architecture.md for the endpoint table.",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1; 0.0.0.0 to serve remotely)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port (default: 7654; 0 picks an ephemeral port, "
+             "printed on startup)",
+    )
+    serve.add_argument(
+        "-w",
+        "--workers",
+        default="1",
+        help="per-job executor fleet: 1 = in-thread serial, an integer "
+             "forks that many local workers per job, and a fleet spec "
+             "like 'node1:2,node2:7700:4' fronts remote "
+             "`python -m repro.experiments worker` servers",
+    )
+    serve.add_argument(
+        "--cache",
+        default="disk",
+        metavar="SPEC",
+        help="result cache backend: none, disk[:dir], memory[:entries] "
+             "or tcp://host:port (default: disk — submissions are "
+             "deduplicated against it and /results serves from it)",
+    )
+    serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="how many jobs may run concurrently (default: 2); queued "
+             "jobs start shortest-expected-work first",
+    )
+    serve.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="how long finished jobs stay listed (default: 3600); "
+             "their results stay in the cache either way",
     )
 
     commands.add_parser("list", help="list the registered experiments")
@@ -433,6 +490,50 @@ def _command_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.experiments.distributed import parse_cache_spec, parse_workers
+    from repro.service import DEFAULT_SERVICE_PORT, DEFAULT_TTL_S, SweepService
+
+    try:
+        # Validate both specs now, at startup, with CLI-grade messages.
+        parse_workers(args.workers)
+        cache = parse_cache_spec(args.cache)
+    except ValueError as error:
+        print(error)
+        return 1
+    port = DEFAULT_SERVICE_PORT if args.port is None else args.port
+    ttl_s = DEFAULT_TTL_S if args.ttl is None else args.ttl
+    service = SweepService(
+        host=args.host,
+        port=port,
+        workers=args.workers,
+        cache=cache,
+        max_jobs=args.max_jobs,
+        ttl_s=ttl_s,
+    )
+    try:
+        service.start()
+    except OSError as error:
+        print(f"cannot bind {args.host}:{port}: {error}")
+        return 1
+    print(
+        f"sweep service on http://{args.host}:{service.port} "
+        f"(workers: {args.workers}, cache: {args.cache}, "
+        f"max jobs: {args.max_jobs}); Ctrl-C to stop",
+        flush=True,
+    )
+    try:
+        while True:
+            _time.sleep(3600)
+    except KeyboardInterrupt:
+        print("stopping")
+    finally:
+        service.stop()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code.
 
@@ -455,6 +556,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_clean(args.cache_dir)
     if args.command == "worker":
         return _command_worker(args)
+    if args.command == "serve":
+        return _command_serve(args)
     return _command_run(args)
 
 

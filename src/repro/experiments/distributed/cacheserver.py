@@ -11,7 +11,10 @@ remote machines never recompute each other's points.
 
 The client degrades instead of failing: if the server becomes
 unreachable mid-run, ``get`` returns a miss and ``put`` becomes a no-op
-— the worker recomputes a little more but the sweep still finishes.
+— the worker recomputes a little more but the sweep still finishes.  An
+outage is loud, not silent: the first failure logs one warning, and the
+client keeps retrying the connection with capped exponential backoff, so
+a restarted server is picked up again mid-run (logged at info).
 Protocol: ``("get", key)`` -> ``("hit", value)`` | ``("miss",)``;
 ``("put", key, value)`` -> ``("ok",)``; ``("len",)`` -> ``("len", n)``;
 ``("ping",)`` -> ``("pong",)``.
@@ -19,10 +22,12 @@ Protocol: ``("get", key)`` -> ``("hit", value)`` | ``("miss",)``;
 
 from __future__ import annotations
 
+import logging
 import socket
 import threading
+import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.experiments.cache import (
     MISS,
@@ -37,6 +42,8 @@ from repro.experiments.distributed.transport import (
     StreamClosed,
     connect,
 )
+
+logger = logging.getLogger(__name__)
 
 
 class CacheServer:
@@ -152,33 +159,99 @@ class CacheClient:
     One persistent connection, opened lazily and guarded by a lock (the
     protocol is strict request/response).  Transport failures flip the
     client into a degraded mode — misses and dropped puts — rather than
-    failing the shard that was only trying to use the cache.
+    failing the shard that was only trying to use the cache.  Degradation
+    is temporary and audible: the first failure of an outage logs one
+    warning, then the client retries the connection with exponential
+    backoff (``retry_initial_s`` doubling up to ``retry_max_s``), so a
+    cache server restarted mid-run is reattached automatically.
+
+    Parameters
+    ----------
+    host, port : str, int
+        The :class:`CacheServer` address.
+    timeout : float
+        Per-request socket timeout in seconds.
+    retry_initial_s : float
+        First backoff window after a transport failure; doubles on every
+        consecutive failure.
+    retry_max_s : float
+        Backoff cap — reconnect attempts never space out further than
+        this, no matter how long the outage lasts.
+    clock : callable
+        Monotonic time source (injectable for tests).
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        retry_initial_s: float = 0.5,
+        retry_max_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry_initial_s = retry_initial_s
+        self.retry_max_s = retry_max_s
         self.stats = CacheStats()
+        self._clock = clock
         self._stream: SocketStream | None = None
         self._lock = threading.Lock()
-        self._dead = False
+        self._backoff_s = 0.0  # 0 while healthy
+        self._retry_at = 0.0  # next reconnect attempt (monotonic)
+        self._outage_warned = False
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the client is currently inside a failed-server outage."""
+        return self._backoff_s > 0.0
 
     def _request(self, message: tuple) -> tuple | None:
-        """One request/response round trip; None once degraded."""
+        """One request/response round trip; ``None`` while degraded.
+
+        During an outage, calls inside the current backoff window return
+        ``None`` immediately (no connection attempt, so a dead server
+        costs a worker almost nothing); the first call past the window
+        retries the connection, doubling the window on failure up to
+        ``retry_max_s``.
+        """
         with self._lock:
-            if self._dead:
+            if self._backoff_s and self._clock() < self._retry_at:
                 return None
             try:
                 if self._stream is None:
                     self._stream = connect(self.host, self.port, self.timeout)
+                    if self._outage_warned:
+                        logger.info(
+                            "cache server %s:%d is back; reconnected",
+                            self.host,
+                            self.port,
+                        )
+                    self._backoff_s = 0.0
+                    self._outage_warned = False
                 self._stream.send(message)
                 return self._stream.recv(timeout=self.timeout)
-            except (StreamClosed, TimeoutError, OSError):
-                self._dead = True
+            except (StreamClosed, TimeoutError, OSError) as error:
                 if self._stream is not None:
                     self._stream.close()
                     self._stream = None
+                if not self._outage_warned:
+                    logger.warning(
+                        "cache server %s:%d unreachable (%s); degrading to "
+                        "cache misses and retrying with backoff up to %.0f s",
+                        self.host,
+                        self.port,
+                        error,
+                        self.retry_max_s,
+                    )
+                    self._outage_warned = True
+                self._backoff_s = min(
+                    self._backoff_s * 2 or self.retry_initial_s,
+                    self.retry_max_s,
+                )
+                self._retry_at = self._clock() + self._backoff_s
                 return None
 
     def get(self, key: str) -> Any:

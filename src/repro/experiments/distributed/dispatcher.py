@@ -95,6 +95,14 @@ class DistributedExecutor:
         (default True; loopback-only unless TCP workers are present).
     mp_context : multiprocessing context, optional
         Context for the forked local workers.
+    observer : callable, optional
+        Called as ``observer(event_dict)`` with live run events: a
+        ``"scan"`` event after the cache scan (total/hits/misses), a
+        ``"plan"`` event once shards are cut, and the scheduler's
+        ``"steal"``/``"shard_done"``/``"requeue"``/``"poisoned"``
+        transitions as they happen.  This is the feed behind the sweep
+        service's NDJSON event streams; observer exceptions are
+        swallowed, never failing the run.
 
     Examples
     --------
@@ -125,9 +133,11 @@ class DistributedExecutor:
         serve_cache: bool = True,
         mp_context=None,
         connect_timeout: float = 10.0,
+        observer: Callable[[dict], None] | None = None,
     ) -> None:
         import multiprocessing
 
+        self.observer = observer
         self.worker_specs = parse_workers(workers)
         self.workers = sum(entry.count for entry in self.worker_specs)
         self.cache = cache
@@ -161,6 +171,14 @@ class DistributedExecutor:
         spec_list = list(specs)
         started = time.perf_counter()
         results, miss_indices = self._local.scan_cache(spec_list)
+        self._observe(
+            {
+                "kind": "scan",
+                "points": len(spec_list),
+                "cache_hits": len(spec_list) - len(miss_indices),
+                "misses": len(miss_indices),
+            }
+        )
         if not miss_indices:
             self.last_report = self._local.make_report(len(spec_list), 0, started)
             return results
@@ -169,11 +187,20 @@ class DistributedExecutor:
         shards = plan_shards(
             spec_list, miss_indices, self._resolve_max_points(spec_list, miss_indices)
         )
+        self._observe(
+            {
+                "kind": "plan",
+                "shards": len(shards),
+                "channels": len(channels),
+                "misses": len(miss_indices),
+            }
+        )
         scheduler = ShardScheduler(
             shards,
             [channel.name for channel in channels],
             lease_s=self.lease_s,
             max_requeues=self.max_requeues,
+            observer=self.observer,
         )
 
         cache_server, cache_address = self._start_cache_server()
@@ -239,6 +266,15 @@ class DistributedExecutor:
     def scan_cache(self, spec_list):
         """Partition specs into cached results and miss indices (delegated)."""
         return self._local.scan_cache(spec_list)
+
+    def _observe(self, event: dict) -> None:
+        """Deliver one run event to the observer; observer errors are inert."""
+        if self.observer is None:
+            return
+        try:
+            self.observer(event)
+        except Exception:
+            pass  # progress reporting must never fail the run
 
     # ------------------------------------------------------------------ #
     # Fleet plumbing

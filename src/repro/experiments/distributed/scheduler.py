@@ -27,8 +27,11 @@ infinite requeue loop.
 Every transition feeds the observability counters (``steals``,
 ``requeues``, per-worker shard/point tallies) that
 :class:`repro.experiments.executor.ExecutionReport` surfaces on the CLI.
-The clock is injectable so the lease state machine is unit-testable
-without sleeping.
+An optional ``observer`` callback additionally receives one dict per
+transition (``steal`` / ``shard_done`` / ``requeue`` / ``poisoned``) as
+it happens — the live feed behind the sweep service's NDJSON event
+streams.  The clock is injectable so the lease state machine is
+unit-testable without sleeping.
 """
 
 from __future__ import annotations
@@ -67,6 +70,12 @@ class ShardScheduler:
         Requeues after which a shard is poisoned instead of retried.
     clock : callable
         Monotonic time source (injectable for tests).
+    observer : callable, optional
+        Called as ``observer(event_dict)`` on every scheduler transition
+        (kinds ``"steal"``, ``"shard_done"``, ``"requeue"``,
+        ``"poisoned"``), outside the scheduler lock.  Exceptions from the
+        observer are swallowed — progress reporting must never be able
+        to wedge a run.
 
     Examples
     --------
@@ -87,12 +96,15 @@ class ShardScheduler:
         lease_s: float = 30.0,
         max_requeues: int = 3,
         clock: Callable[[], float] = time.monotonic,
+        observer: Callable[[dict], None] | None = None,
     ) -> None:
         if not workers:
             raise ValueError("scheduler needs at least one worker")
         self.lease_s = lease_s
         self.max_requeues = max_requeues
         self._clock = clock
+        self._observer = observer
+        self._pending_events: list[dict] = []
         self._lock = threading.Lock()
         self._queues: dict[str, deque[Shard]] = {name: deque() for name in workers}
         for position, shard in enumerate(shards):
@@ -135,12 +147,22 @@ class ShardScheduler:
                     shard = self._pop_next(victim, from_back=True)
                     if shard is not None:
                         self.steals += 1
-            if shard is None:
-                return None
-            self._leases[shard.shard_id] = Lease(
-                shard=shard, worker=worker, deadline=self._clock() + self.lease_s
-            )
-            return shard
+                        self._queue_event_locked(
+                            {
+                                "kind": "steal",
+                                "worker": worker,
+                                "shard": shard.shard_id,
+                                "points": shard.size,
+                            }
+                        )
+            if shard is not None:
+                self._leases[shard.shard_id] = Lease(
+                    shard=shard,
+                    worker=worker,
+                    deadline=self._clock() + self.lease_s,
+                )
+        self._flush_events()
+        return shard
 
     def heartbeat(self, shard_id: int, worker: str) -> bool:
         """Renew the lease on ``shard_id``; False when it is no longer held.
@@ -180,7 +202,17 @@ class ShardScheduler:
             tally = self.per_worker.setdefault(worker, {"shards": 0, "points": 0})
             tally["shards"] += 1
             tally["points"] += shard.size
-            return True
+            self._queue_event_locked(
+                {
+                    "kind": "shard_done",
+                    "worker": worker,
+                    "shard": shard_id,
+                    "points": shard.size,
+                    "completed": len(self._completed),
+                }
+            )
+        self._flush_events()
+        return True
 
     def fail(self, worker: str) -> list[Shard]:
         """Requeue every shard leased to a dead ``worker``; return them."""
@@ -191,7 +223,8 @@ class ShardScheduler:
             for lease in lost:
                 del self._leases[lease.shard.shard_id]
                 self._requeue_locked(lease.shard)
-            return [lease.shard for lease in lost]
+        self._flush_events()
+        return [lease.shard for lease in lost]
 
     # ------------------------------------------------------------------ #
     # Dispatcher-facing state
@@ -200,7 +233,9 @@ class ShardScheduler:
     def expire(self) -> list[Shard]:
         """Requeue every lease past its deadline; return the shards."""
         with self._lock:
-            return self._expire_locked()
+            expired = self._expire_locked()
+        self._flush_events()
+        return expired
 
     def take_poisoned(self) -> list[Shard]:
         """Drain the shards that exhausted their requeue budget."""
@@ -248,10 +283,34 @@ class ShardScheduler:
                     return shard
         return None
 
+    def _queue_event_locked(self, event: dict) -> None:
+        if self._observer is not None:
+            self._pending_events.append(event)
+
+    def _flush_events(self) -> None:
+        """Deliver queued events outside the lock; observer errors are inert."""
+        if self._observer is None or not self._pending_events:
+            return
+        with self._lock:
+            events, self._pending_events = self._pending_events, []
+        for event in events:
+            try:
+                self._observer(event)
+            except Exception:
+                pass  # observers report progress; they never fail a run
+
     def _requeue_locked(self, shard: Shard) -> None:
         count = self._requeue_counts.get(shard.shard_id, 0) + 1
         self._requeue_counts[shard.shard_id] = count
         self.requeues += 1
+        self._queue_event_locked(
+            {
+                "kind": "poisoned" if count > self.max_requeues else "requeue",
+                "shard": shard.shard_id,
+                "points": shard.size,
+                "count": count,
+            }
+        )
         if count > self.max_requeues:
             self._poisoned.append(shard)
             return

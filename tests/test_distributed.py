@@ -8,6 +8,7 @@ serial executor as much as on unit-level checks of the moving parts.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import pickle
 import socket
@@ -219,6 +220,32 @@ class TestShardScheduler:
         with pytest.raises(ValueError):
             ShardScheduler([Shard(0, (0,))], workers=[])
 
+    def test_observer_sees_steal_done_requeue_and_poison(self):
+        events = []
+        scheduler, clock = self.make(
+            sizes=(1, 1), workers=("a", "b"), lease_s=10.0, max_requeues=1,
+            observer=events.append,
+        )
+        shard = scheduler.lease("b")
+        scheduler.complete(shard.shard_id, "b")
+        stolen = scheduler.lease("b")  # b's queue is dry: steals from a
+        assert [event["kind"] for event in events] == ["shard_done", "steal"]
+        assert events[1]["worker"] == "b" and events[1]["shard"] == stolen.shard_id
+        clock.advance(11.0)
+        scheduler.expire()  # requeue #1
+        scheduler.lease("a")
+        clock.advance(11.0)
+        scheduler.expire()  # requeue #2 > max_requeues=1: poisoned
+        assert [event["kind"] for event in events[2:]] == ["requeue", "poisoned"]
+
+    def test_observer_errors_never_propagate(self):
+        def broken(event):
+            raise RuntimeError("observer bug")
+
+        scheduler, _ = self.make(sizes=(1,), workers=("a",), observer=broken)
+        shard = scheduler.lease("a")
+        assert scheduler.complete(shard.shard_id, "a") is True  # no raise
+
 
 # --------------------------------------------------------------------- #
 # Transport: framing and --workers parsing
@@ -339,6 +366,79 @@ class TestCacheServerClient:
         assert client.get("a" * 64) is MISS  # degraded, not raising
         client.put("b" * 64, 2)  # no-op, no exception
         assert not client.ping()
+
+    def test_degraded_client_backs_off_exponentially(self, monkeypatch):
+        # Deterministic reconnect schedule: a fake clock and a connect()
+        # stub that always refuses, counting the attempts.
+        from repro.experiments.distributed import cacheserver as module
+
+        class Clock:
+            now = 0.0
+
+            def __call__(self):
+                return self.now
+
+        clock = Clock()
+        attempts = []
+
+        def refusing_connect(host, port, timeout):
+            attempts.append(clock.now)
+            raise OSError("connection refused")
+
+        monkeypatch.setattr(module, "connect", refusing_connect)
+        client = CacheClient(
+            "127.0.0.1", 1, retry_initial_s=0.05, retry_max_s=0.2,
+            clock=clock,
+        )
+        assert client.get("a" * 64) is MISS  # first failure opens the outage
+        assert client.degraded and client._backoff_s == 0.05
+        assert client.get("a" * 64) is MISS  # inside the window: no attempt
+        assert len(attempts) == 1
+        for expected_backoff in (0.1, 0.2, 0.2, 0.2):  # doubles, then caps
+            clock.now += client._backoff_s
+            client.get("a" * 64)
+            assert client._backoff_s == pytest.approx(expected_backoff)
+        assert len(attempts) == 5  # one per expired window, none inside
+
+    def test_client_warns_once_then_reconnects_to_restarted_server(
+        self, caplog
+    ):
+        server = CacheServer(MemoryCache()).start()
+        port = server.port
+        client = CacheClient(
+            "127.0.0.1", port, timeout=1.0, retry_initial_s=0.01
+        )
+        client.put("a" * 64, 1)
+        server.stop()
+        client.close()
+        with caplog.at_level(
+            logging.WARNING, logger="repro.experiments.distributed.cacheserver"
+        ):
+            assert client.get("a" * 64) is MISS  # outage begins
+            assert client.get("a" * 64) is MISS  # still down, no second warning
+        warnings = [
+            record for record in caplog.records
+            if record.levelno == logging.WARNING
+        ]
+        assert len(warnings) == 1
+        assert "unreachable" in warnings[0].getMessage()
+
+        restarted = CacheServer(MemoryCache(), port=port).start()
+        try:
+            restarted.backend.put("a" * 64, 42)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if client.get("a" * 64) == 42:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("client never reconnected to the restarted server")
+            assert not client.degraded
+            client.put("b" * 64, 2)  # puts work again too
+            assert restarted.backend.get("b" * 64) == 2
+            client.close()
+        finally:
+            restarted.stop()
 
     def test_server_fronts_a_disk_cache_too(self, tmp_path):
         disk = ResultCache(tmp_path)

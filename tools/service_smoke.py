@@ -1,0 +1,151 @@
+"""End-to-end smoke of the sweep service (`make service-smoke`).
+
+Boots ``python -m repro.experiments serve`` on an ephemeral port with a
+throwaway disk cache, then proves the full HTTP path against a direct
+in-process run:
+
+1. submit the fig5 smoke sweep over ``POST /sweeps``;
+2. consume the NDJSON event stream to completion;
+3. fetch every result by content hash from ``GET /results/{key}`` and
+   **byte-compare** each pickle against a direct
+   :class:`~repro.experiments.executor.Executor` run of the same specs;
+4. resubmit the identical sweep and assert it is served from the cache —
+   zero recomputed points, every point a cache hit.
+
+The server runs with ``--ttl 0`` so the resubmission exercises the
+cache-hit path as a *fresh* job (the finished job is pruned immediately)
+rather than the in-registry dedup path, which the unit tests cover.
+Exits non-zero with a diagnostic on any mismatch.
+"""
+
+from __future__ import annotations
+
+import pickle
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.evaluation.settings import ExperimentSettings  # noqa: E402
+from repro.experiments.executor import Executor  # noqa: E402
+from repro.experiments.registry import EXPERIMENTS  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
+SMOKE_SETTINGS = {"engine": "vector", "warmup_cycles": 20, "measure_cycles": 60}
+SUBMISSION = {"experiment": "fig5", "settings": SMOKE_SETTINGS}
+
+
+def fail(message: str) -> None:
+    """Print a diagnostic and exit non-zero."""
+    print(f"service-smoke: FAIL: {message}")
+    raise SystemExit(1)
+
+
+def start_server(cache_dir: str) -> tuple[subprocess.Popen, int]:
+    """Launch the serve subcommand on an ephemeral port; return (proc, port)."""
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments", "serve",
+            "--port", "0", "--cache", f"disk:{cache_dir}", "--ttl", "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    line = process.stdout.readline()
+    match = re.search(r"http://[^:]+:(\d+)", line)
+    if not match:
+        process.kill()
+        fail(f"server did not announce a port: {line!r}")
+    return process, int(match.group(1))
+
+
+def main() -> int:
+    """Run the smoke; returns 0 on success."""
+    specs = EXPERIMENTS["fig5"].build_sweep(
+        ExperimentSettings(**SMOKE_SETTINGS)
+    ).specs()
+    print(f"service-smoke: direct run of {len(specs)} fig5 points ...")
+    direct = Executor().run(specs)
+    direct_blobs = [
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        for value in direct
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as cache_dir:
+        process, port = start_server(cache_dir)
+        try:
+            client = ServiceClient("127.0.0.1", port, timeout=60.0)
+            if client.healthz()["status"] != "ok":
+                fail("healthz did not answer ok")
+
+            print(f"service-smoke: server on port {port}; submitting sweep")
+            reply = client.submit(SUBMISSION)
+            if reply["deduplicated"]:
+                fail("first submission claimed to be a duplicate")
+            job_id = reply["job"]["id"]
+
+            events = list(client.events(job_id))
+            kinds = [event["kind"] for event in events]
+            states = [e["state"] for e in events if e["kind"] == "state"]
+            print(
+                f"service-smoke: streamed {len(events)} events "
+                f"({kinds.count('point')} points), states {states}"
+            )
+            if states[-1] != "done":
+                fail(f"job ended {states[-1]!r}: {client.job(job_id)}")
+            if kinds.count("point") != len(specs):
+                fail(
+                    f"stream reported {kinds.count('point')} points, "
+                    f"expected {len(specs)}"
+                )
+
+            job = client.job(job_id)
+            if job["computed"] != len(specs) or job["cache_hits"] != 0:
+                fail(f"cold job miscounted: {job}")
+            if job["result_keys"] != [spec.key for spec in specs]:
+                fail("service result keys differ from local spec keys")
+            for index, key in enumerate(job["result_keys"]):
+                blob = client.result(key)
+                if blob != direct_blobs[index]:
+                    fail(
+                        f"result {index} ({key[:12]}...) differs from the "
+                        f"direct Executor run"
+                    )
+            print(
+                f"service-smoke: {len(specs)} results byte-identical to the "
+                f"direct run"
+            )
+
+            # --ttl 0 pruned the finished job, so this resubmission must
+            # become a fresh job served entirely from the disk cache.
+            second = client.submit(SUBMISSION)
+            if second["deduplicated"]:
+                fail("resubmission hit the registry, not the cache path")
+            warm = client.wait(second["job"]["id"], timeout_s=60)
+            if warm["state"] != "done":
+                fail(f"warm job ended {warm['state']!r}")
+            if warm["computed"] != 0 or warm["cache_hits"] != len(specs):
+                fail(f"resubmission recomputed points: {warm}")
+            warm_events = list(client.events(warm["id"]))
+            if any(event["kind"] == "point" for event in warm_events):
+                fail("warm job emitted point events (it recomputed)")
+            print(
+                f"service-smoke: resubmission served from cache "
+                f"({warm['cache_hits']} hits, 0 computed)"
+            )
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+    print("service-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
