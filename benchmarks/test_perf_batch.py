@@ -24,6 +24,7 @@ the committed baseline by ``make bench-engine`` / the CI bench-smoke job.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -40,7 +41,10 @@ SEED = 0
 #: as ``test_perf_engine``).
 REPETITIONS = 3
 
-RESULT_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
+RESULT_PATH = (
+    Path(os.environ.get("BENCH_OUT_DIR") or Path(__file__).resolve().parent)
+    / "BENCH_engine.json"
+)
 #: Minimum acceptable batch-over-sequential speedup — the ISSUE's ≥2x
 #: target, kept as a hard floor below the recorded baseline so the suite
 #: stays green on slow, noisy CI boxes while still catching a batch

@@ -36,7 +36,10 @@ WARMUP_CYCLES = 20
 MEASURE_CYCLES = 60
 WORKERS = 4
 
-RESULT_PATH = Path(__file__).resolve().parent / "BENCH_experiments.json"
+RESULT_PATH = (
+    Path(os.environ.get("BENCH_OUT_DIR") or Path(__file__).resolve().parent)
+    / "BENCH_experiments.json"
+)
 #: Minimum acceptable 4-worker-over-1-worker speedup on a host that can
 #: physically deliver it (>= 4 cores).
 SPEEDUP_FLOOR = 3.0

@@ -19,6 +19,7 @@ family's speedup against the committed baseline.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -36,7 +37,10 @@ WARMUP_CYCLES = 200
 MEASURE_CYCLES = 600
 SEED = 0
 
-RESULT_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
+RESULT_PATH = (
+    Path(os.environ.get("BENCH_OUT_DIR") or Path(__file__).resolve().parent)
+    / "BENCH_engine.json"
+)
 #: Hard floor on the vector-vs-legacy advance speedup per family — far
 #: below the committed baselines, so slow CI boxes stay green while a
 #: vector engine that stopped being faster on multi-hop paths still fails.

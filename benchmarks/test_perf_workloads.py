@@ -18,6 +18,7 @@ is also what the report prints.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -32,7 +33,10 @@ WARMUP_CYCLES = 100
 MEASURE_CYCLES = 500
 SEED = 0
 
-RESULT_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
+RESULT_PATH = (
+    Path(os.environ.get("BENCH_OUT_DIR") or Path(__file__).resolve().parent)
+    / "BENCH_engine.json"
+)
 
 
 def _time_pattern(pattern: str) -> dict:

@@ -26,13 +26,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
-DEFAULT_CURRENT = BENCH_DIR / "BENCH_engine.json"
+#: Current results follow ``BENCH_OUT_DIR`` (where the benchmark modules
+#: write when the variable is set, keeping local re-runs out of the
+#: committed snapshots); baselines always come from the committed tree.
+CURRENT_DIR = Path(os.environ.get("BENCH_OUT_DIR") or BENCH_DIR)
+DEFAULT_CURRENT = CURRENT_DIR / "BENCH_engine.json"
 DEFAULT_BASELINE = BENCH_DIR / "BENCH_engine.baseline.json"
-EXPERIMENTS_CURRENT = BENCH_DIR / "BENCH_experiments.json"
+EXPERIMENTS_CURRENT = CURRENT_DIR / "BENCH_experiments.json"
 EXPERIMENTS_BASELINE = BENCH_DIR / "BENCH_experiments.baseline.json"
 
 
