@@ -121,8 +121,11 @@ lint:
 
 # Prefer ruff's pydocstyle (D) rules or pydocstyle itself when available;
 # fall back to the bundled AST checker (same missing-docstring subset) on
-# offline machines that have neither.
+# offline machines that have neither.  Either way the generated catalogue
+# tables of README.md / docs/architecture.md are checked against the live
+# registries (`tools/docs_lint.py --tables --write` regenerates them).
 docs-lint:
+	@$(PYTHON) tools/docs_lint.py --tables
 	@if $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check --select D100,D101,D102,D103,D104 \
 			src/repro/experiments src/repro/evaluation \

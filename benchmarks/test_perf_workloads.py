@@ -26,6 +26,7 @@ from repro.core.cluster import MemPoolCluster
 from repro.core.config import MemPoolConfig
 from repro.traffic.simulation import TrafficSimulation
 from repro.workloads import available_patterns
+from repro.workloads.registry import pattern_entry
 
 BENCH_TOPOLOGY = "top1"
 BENCH_LOAD = 0.25
@@ -59,8 +60,12 @@ def _time_pattern(pattern: str) -> dict:
 
 
 def test_pattern_sweep_and_append_bench(report_sink):
+    # Patterns with required parameters (trace replay needs a path) have
+    # no default construction and are benchmarked by their own suites.
     measurements = {
-        pattern: _time_pattern(pattern) for pattern in available_patterns()
+        pattern: _time_pattern(pattern)
+        for pattern in available_patterns()
+        if not pattern_entry(pattern).required
     }
     # Every registered pattern must actually move traffic through the
     # engine — a pattern that deadlocks or never completes a request

@@ -7,6 +7,7 @@ from repro.energy.model import (
     InstructionEnergy,
 )
 from repro.energy.power import PowerBreakdown, PowerModel, PowerParameters
+from repro.energy.traffic import TrafficEnergySummary, attach_energy, traffic_energy
 
 __all__ = [
     "EnergyParameters",
@@ -16,4 +17,7 @@ __all__ = [
     "PowerModel",
     "PowerParameters",
     "PowerBreakdown",
+    "TrafficEnergySummary",
+    "traffic_energy",
+    "attach_energy",
 ]

@@ -85,6 +85,17 @@ def main(argv: list[str] | None = None) -> int:
              "MEMPOOL_TOPOLOGY or 'toph'; figure sweeps keep their own "
              "topology axes)",
     )
+    parser.add_argument(
+        "--energy", action="store_true",
+        help="attach the Figure 10 wire-energy summary to every traffic "
+             "result (like MEMPOOL_ENERGY=1; the traces catalogue always "
+             "reports energy)",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="trace file the traces experiment replays (like MEMPOOL_TRACE; "
+             "default: a small deterministic recording made on first use)",
+    )
     args = parser.parse_args(argv)
 
     selected, error = resolve_selection(args.experiments)
@@ -104,6 +115,10 @@ def main(argv: list[str] | None = None) -> int:
         overrides["injector"] = args.injector
     if args.topology:
         overrides["topology"] = args.topology
+    if args.energy:
+        overrides["energy"] = True
+    if args.trace:
+        overrides["trace"] = args.trace
     try:
         settings = ExperimentSettings(**overrides)
         # Probe unconditionally: the selection may also come from

@@ -96,6 +96,7 @@ def simulate_fig5_point(
     engine: str = "legacy",
     pattern: str = "uniform",
     injector: str = "poisson",
+    energy: bool = False,
 ) -> TrafficResult:
     """Simulate one (topology, load) point of Figure 5.
 
@@ -125,6 +126,10 @@ def simulate_fig5_point(
         Workload registry names (see :mod:`repro.workloads`); the paper's
         Figure 5 is ``uniform`` x ``poisson``, but any registered pair
         runs through either engine.
+    energy : bool
+        Attach the Figure 10 wire-energy summary to the result
+        (:func:`repro.energy.traffic.traffic_energy`); derived from the
+        result's counters, so it never changes the timing numbers.
 
     Returns
     -------
@@ -146,16 +151,20 @@ def simulate_fig5_point(
         engine=engine,
         pattern=pattern,
         injector=injector,
+        energy=energy,
     )
     cluster = MemPoolCluster(settings.config(topology), engine=settings.engine)
     simulation = TrafficSimulation(
         cluster, load, pattern=settings.pattern, seed=settings.seed,
         injector=settings.injector,
     )
-    return simulation.run(
+    result = simulation.run(
         warmup_cycles=settings.warmup_cycles,
         measure_cycles=settings.measure_cycles,
     )
+    from repro.energy.traffic import attach_energy
+
+    return attach_energy(cluster, result, settings.energy)
 
 
 def fig5_sweep(

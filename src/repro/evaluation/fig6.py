@@ -88,6 +88,7 @@ def simulate_fig6_point(
     seed: int = DEFAULT_SEED,
     engine: str = "legacy",
     injector: str = "poisson",
+    energy: bool = False,
 ) -> TrafficResult:
     """Simulate one (p_local, load) point of Figure 6 on the TopH cluster.
 
@@ -116,6 +117,9 @@ def simulate_fig6_point(
         Injection-process registry name (see :mod:`repro.workloads`);
         the paper uses ``poisson``.  The destination pattern is not a
         knob here — the ``local_biased`` pattern *is* the experiment.
+    energy : bool
+        Attach the Figure 10 wire-energy summary to the result
+        (:func:`repro.energy.traffic.traffic_energy`).
 
     Returns
     -------
@@ -136,6 +140,7 @@ def simulate_fig6_point(
         seed=seed,
         engine=engine,
         injector=injector,
+        energy=energy,
     )
     cluster = MemPoolCluster(settings.config("toph"), engine=settings.engine)
     pattern = LocalBiasedPattern(cluster.config, p_local, seed=settings.seed)
@@ -143,10 +148,13 @@ def simulate_fig6_point(
         cluster, load, pattern=pattern, seed=settings.seed,
         injector=settings.injector,
     )
-    return simulation.run(
+    result = simulation.run(
         warmup_cycles=settings.warmup_cycles,
         measure_cycles=settings.measure_cycles,
     )
+    from repro.energy.traffic import attach_energy
+
+    return attach_energy(cluster, result, settings.energy)
 
 
 def fig6_sweep(

@@ -38,6 +38,14 @@ def _topology_from_environment() -> str:
     return os.environ.get("MEMPOOL_TOPOLOGY", "toph") or "toph"
 
 
+def _energy_from_environment() -> bool:
+    return os.environ.get("MEMPOOL_ENERGY", "0") not in ("", "0", "false", "False")
+
+
+def _trace_from_environment() -> str | None:
+    return os.environ.get("MEMPOOL_TRACE") or None
+
+
 #: Default warm-up window of the synthetic-traffic measurements.  The
 #: point functions in the fig* modules reference these constants for
 #: their keyword defaults, so retuning them here retunes every path.
@@ -87,6 +95,16 @@ class ExperimentSettings:
     #: ``{"width": 8}`` for ``mesh``); filled from the ``name:k=v`` spec
     #: when one is given.
     topology_params: dict = field(default_factory=dict)
+    #: Attach the Figure 10 wire-energy summary to every traffic result
+    #: (:func:`repro.energy.traffic.traffic_energy`); honours
+    #: ``MEMPOOL_ENERGY`` / ``--energy``.  Free of simulation side
+    #: effects: the summary is derived from the result's counters after
+    #: the measurement, so enabling it never changes timing numbers.
+    energy: bool = field(default_factory=_energy_from_environment)
+    #: Trace file replayed by the ``traces`` experiment; honours
+    #: ``MEMPOOL_TRACE`` / ``--trace``.  ``None`` lets the experiment
+    #: record its deterministic default trace on first use.
+    trace: str | None = field(default_factory=_trace_from_environment)
 
     def __post_init__(self) -> None:
         # Validate here rather than deep inside a sweep worker: a typo'd
@@ -172,6 +190,7 @@ class ExperimentSettings:
             "engine": self.engine,
             "pattern": self.pattern,
             "injector": self.injector,
+            "energy": self.energy,
         }
 
     @property

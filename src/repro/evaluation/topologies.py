@@ -57,20 +57,37 @@ class TopologyCatalogueResult:
         return self.results[topology].average_latency
 
     def report(self) -> str:
-        """One table row per registered topology."""
+        """One table row per registered topology.
+
+        When the sweep ran with ``energy=True`` every row additionally
+        reports the wire-energy cost per completed request (pJ), which is
+        what separates families of equal latency but different path
+        structure.
+        """
         header = (
             f"Topology catalogue: {self.pattern} x {self.injector}, "
             f"injected load {self.load:g} request/core/cycle"
         )
+        with_energy = any(
+            result.energy is not None for result in self.results.values()
+        )
+        energy_header = f" {'pJ/req':>7}" if with_energy else ""
         rows = [
             f"{'topology':<16} {'throughput':>10} {'avg lat':>8} "
-            f"{'p95':>5} {'max':>5} {'local':>6}"
+            f"{'p95':>5} {'max':>5} {'local':>6}" + energy_header
         ]
         for topology, result in sorted(self.results.items()):
+            energy_cell = ""
+            if with_energy:
+                per_request = (
+                    result.energy.per_request_pj if result.energy is not None else 0.0
+                )
+                energy_cell = f" {per_request:>7.2f}"
             rows.append(
                 f"{topology:<16} {result.throughput:>10.3f} "
                 f"{result.average_latency:>8.2f} {result.p95_latency:>5d} "
                 f"{result.max_latency:>5d} {result.local_fraction:>6.2f}"
+                + energy_cell
             )
         return header + "\n" + "\n".join(rows)
 
@@ -87,6 +104,7 @@ def simulate_topology_point(
     engine: str = "legacy",
     pattern: str = "uniform",
     injector: str = "poisson",
+    energy: bool = False,
 ) -> TrafficResult:
     """Simulate one topology point of the catalogue.
 
@@ -102,7 +120,7 @@ def simulate_topology_point(
         Family-specific knobs (e.g. ``{"width": 8, "height": 2}``).
     load : float
         Injected load in requests per core per cycle.
-    full_scale, warmup_cycles, measure_cycles, seed, engine
+    full_scale, warmup_cycles, measure_cycles, seed, engine, energy
         As in :func:`repro.evaluation.fig5.simulate_fig5_point`.
     pattern, injector : str
         Workload registry names driving every topology identically.
@@ -124,6 +142,7 @@ def simulate_topology_point(
         injector=injector,
         topology=topology,
         topology_params=dict(topology_params or {}),
+        energy=energy,
     )
     config = settings.config(topology, topology_params=settings.topology_params)
     cluster = MemPoolCluster(config, engine=settings.engine)
@@ -131,10 +150,13 @@ def simulate_topology_point(
         cluster, load, pattern=settings.pattern, seed=settings.seed,
         injector=settings.injector,
     )
-    return simulation.run(
+    result = simulation.run(
         warmup_cycles=settings.warmup_cycles,
         measure_cycles=settings.measure_cycles,
     )
+    from repro.energy.traffic import attach_energy
+
+    return attach_energy(cluster, result, settings.energy)
 
 
 def topologies_sweep(

@@ -1,0 +1,331 @@
+"""Traces catalogue: replay one recorded trace across the topology families.
+
+Not a figure of the paper — the trace-driven companion of the topology
+catalogue (:mod:`repro.evaluation.topologies`): one recorded flit trace
+(:mod:`repro.workloads.trace`) is replayed, unchanged, on each of the six
+parameterized topology families added beyond the paper's four, and every
+point reports latency, throughput *and* the Figure 10 wire-energy cost.
+Because the replay is deterministic — the recorded workload asks for no
+random draws — the differences between rows are purely structural: the
+same requests, at the same cycles, routed through different networks.
+
+The trace comes from ``--trace`` / ``MEMPOOL_TRACE``; without one the
+experiment records a small deterministic default (uniform x poisson on
+TopH) into the result-cache directory on first use.  Every sweep point
+carries the trace's content sha256 in its parameters, so cache keys are
+content-addressed: re-recording the trace re-runs every point, and a
+file modified after sweep expansion fails replay with a clear message.
+
+Run it with ``python -m repro.experiments run traces`` (add
+``--trace my.trace.gz`` to replay your own recording).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.cluster import MemPoolCluster
+from repro.evaluation.settings import (
+    DEFAULT_SEED,
+    ExperimentSettings,
+)
+from repro.experiments import Executor, ExperimentSpec, Sweep
+from repro.traffic import TrafficResult, TrafficSimulation
+from repro.workloads.trace import read_trace_header, record_trace
+
+#: The six parameterized topology families (each at its default
+#: parameters) the catalogue replays the trace on.
+DEFAULT_TRACE_TOPOLOGIES = (
+    "butterfly",
+    "fully_connected",
+    "hierarchical",
+    "mesh",
+    "ring",
+    "torus",
+)
+#: Recording knobs of the default trace (uniform x poisson on TopH).
+DEFAULT_TRACE_TOPOLOGY = "toph"
+DEFAULT_TRACE_LOAD = 0.25
+DEFAULT_TRACE_WARMUP = 50
+DEFAULT_TRACE_MEASURE = 200
+#: Extra replay cycles beyond the trace horizon, so late injections can
+#: drain through slow topologies inside the measurement window.
+DEFAULT_DRAIN_CYCLES = 256
+
+
+@dataclass
+class TraceCatalogueResult:
+    """Per-topology measurements of one replayed trace."""
+
+    trace: str
+    trace_sha: str
+    records: int
+    cycles: int
+    load: float
+    results: dict[str, TrafficResult] = field(default_factory=dict)
+
+    def throughput(self, topology: str) -> float:
+        """Accepted throughput of one topology under the trace."""
+        return self.results[topology].throughput
+
+    def latency(self, topology: str) -> float:
+        """Average round-trip latency of one topology under the trace."""
+        return self.results[topology].average_latency
+
+    def energy_per_request(self, topology: str) -> float:
+        """Wire-energy per completed request (pJ) of one topology."""
+        energy = self.results[topology].energy
+        return energy.per_request_pj if energy is not None else 0.0
+
+    def report(self) -> str:
+        """One row per topology family: latency, throughput and energy."""
+        header = (
+            f"Trace catalogue: {os.path.basename(self.trace)} "
+            f"(sha {self.trace_sha[:12]}, {self.records} requests over "
+            f"{self.cycles} cycles, mean load {self.load:g})"
+        )
+        rows = [
+            f"{'topology':<16} {'throughput':>10} {'avg lat':>8} "
+            f"{'p95':>5} {'local':>6} {'pJ/req':>7} {'total nJ':>9}"
+        ]
+        for topology, result in sorted(self.results.items()):
+            energy = result.energy
+            per_request = energy.per_request_pj if energy is not None else 0.0
+            total_nj = (energy.total_pj / 1e3) if energy is not None else 0.0
+            rows.append(
+                f"{topology:<16} {result.throughput:>10.3f} "
+                f"{result.average_latency:>8.2f} {result.p95_latency:>5d} "
+                f"{result.local_fraction:>6.2f} {per_request:>7.2f} "
+                f"{total_nj:>9.2f}"
+            )
+        return header + "\n" + "\n".join(rows)
+
+
+def simulate_trace_point(
+    *,
+    topology: str,
+    trace: str,
+    trace_sha: str,
+    load: float,
+    topology_params: dict | None = None,
+    full_scale: bool = False,
+    warmup_cycles: int = 0,
+    measure_cycles: int = DEFAULT_TRACE_MEASURE + DEFAULT_DRAIN_CYCLES,
+    seed: int = DEFAULT_SEED,
+    engine: str = "legacy",
+    energy: bool = True,
+) -> TrafficResult:
+    """Replay one trace on one topology family.
+
+    Module-level point function of the sweep engine: all parameters are
+    picklable primitives.  ``trace_sha`` is the content hash the sweep
+    was expanded against — the replay components verify the file still
+    matches it, so a trace modified between expansion and execution
+    fails loudly instead of silently relabelling cached results.
+
+    Parameters
+    ----------
+    topology : str
+        Topology registry name (see :mod:`repro.topologies`).
+    trace : str
+        Path of the trace file (see :mod:`repro.workloads.trace`).
+    trace_sha : str
+        Expected content sha256 of the trace.
+    load : float
+        Offered-load label of the result (the trace's mean rate).
+    topology_params : dict, optional
+        Family-specific knobs (e.g. ``{"width": 8, "height": 2}``).
+    full_scale, warmup_cycles, measure_cycles, seed, engine, energy
+        As in :func:`repro.evaluation.fig5.simulate_fig5_point`; the
+        sweep passes ``warmup_cycles=0`` and a window covering the whole
+        trace plus a drain margin, so the stats span the entire replay.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> from repro.evaluation.settings import ExperimentSettings
+    >>> with tempfile.TemporaryDirectory() as root:
+    ...     path = os.path.join(root, "t.trace.gz")
+    ...     sha = record_default_trace(ExperimentSettings(), path)
+    ...     result = simulate_trace_point(
+    ...         topology="mesh", trace=path, trace_sha=sha, load=0.25)
+    >>> result.completed_requests > 0 and result.energy is not None
+    True
+    """
+    settings = ExperimentSettings(
+        full_scale=full_scale,
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        seed=seed,
+        engine=engine,
+        topology=topology,
+        topology_params=dict(topology_params or {}),
+        energy=energy,
+        trace=trace,
+    )
+    config = settings.config(topology, topology_params=settings.topology_params)
+    cluster = MemPoolCluster(config, engine=settings.engine)
+    replay = {"path": trace, "sha": trace_sha}
+    simulation = TrafficSimulation(
+        cluster, load,
+        pattern="trace", pattern_params=replay,
+        injector="trace", injector_params=replay,
+        seed=settings.seed,
+    )
+    result = simulation.run(
+        warmup_cycles=settings.warmup_cycles,
+        measure_cycles=settings.measure_cycles,
+    )
+    from repro.energy.traffic import attach_energy
+
+    return attach_energy(cluster, result, settings.energy)
+
+
+def default_trace_path(settings: ExperimentSettings) -> str:
+    """Where the experiment's default recording lives for ``settings``.
+
+    Scale and seed are part of the name — a full-scale trace cannot
+    replay on the scaled cluster, and different seeds record different
+    traffic — so switching either records a sibling file instead of
+    clobbering the first.
+    """
+    from repro.experiments.cache import default_cache_dir
+
+    scale = "full" if settings.full_scale else "scaled"
+    return os.path.join(
+        default_cache_dir(), "traces",
+        f"default-{scale}-seed{settings.seed}.trace.gz",
+    )
+
+
+def record_default_trace(
+    settings: ExperimentSettings, path: str, force: bool = True
+) -> str:
+    """Record the deterministic default trace to ``path``; returns its sha.
+
+    A short uniform x poisson measurement on the paper's TopH cluster —
+    the flit log is engine-independent, so the recorded bytes (and the
+    content hash every cache key embeds) do not depend on which engine
+    ``settings`` selects.
+    """
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    config = settings.config(DEFAULT_TRACE_TOPOLOGY)
+    cluster = MemPoolCluster(config, engine=settings.engine)
+    simulation = TrafficSimulation(
+        cluster, DEFAULT_TRACE_LOAD, pattern="uniform",
+        injector="poisson", seed=settings.seed,
+    )
+    result = simulation.run(
+        warmup_cycles=DEFAULT_TRACE_WARMUP,
+        measure_cycles=DEFAULT_TRACE_MEASURE,
+        record_flits=True,
+    )
+    return record_trace(
+        result, config, path,
+        meta={
+            "source": "default",
+            "topology": DEFAULT_TRACE_TOPOLOGY,
+            "pattern": "uniform",
+            "injector": "poisson",
+            "load": DEFAULT_TRACE_LOAD,
+            "seed": settings.seed,
+        },
+        force=force,
+    )
+
+
+def ensure_trace(settings: ExperimentSettings) -> str:
+    """The trace the experiment replays: ``settings.trace`` or the default.
+
+    The default is recorded on first use into the result-cache directory
+    and reused afterwards (its content is deterministic, so reuse and
+    re-record produce identical hashes).
+    """
+    if settings.trace:
+        return settings.trace
+    path = default_trace_path(settings)
+    if not os.path.exists(path):
+        record_default_trace(settings, path)
+    return path
+
+
+def traces_sweep(
+    settings: ExperimentSettings | None = None,
+    topologies: tuple[str, ...] = DEFAULT_TRACE_TOPOLOGIES,
+    drain_cycles: int = DEFAULT_DRAIN_CYCLES,
+) -> Sweep:
+    """The per-topology replay grid of one trace as a :class:`Sweep`.
+
+    The trace's content sha256 goes into every spec's parameters, making
+    the cache keys content-addressed; the load label and the replay
+    window come from the trace header (the whole horizon plus
+    ``drain_cycles``), so the measurement covers every recorded request.
+    """
+    settings = settings or ExperimentSettings()
+    trace = ensure_trace(settings)
+    header = read_trace_header(trace)
+    records = int(header["records"])
+    cycles = int(header["cycles"])
+    cores = int(header["num_cores"])
+    load = records / (cores * cycles) if records and cores and cycles else 0.0
+    base = settings.as_params()
+    base.pop("pattern", None)
+    base.pop("injector", None)
+    base.update(
+        trace=trace,
+        trace_sha=str(header["sha256"]),
+        load=round(load, 6),
+        warmup_cycles=0,
+        measure_cycles=cycles + drain_cycles,
+        # The catalogue's contract is latency + throughput + energy.
+        energy=True,
+    )
+    return Sweep(
+        runner="repro.evaluation.traces:simulate_trace_point",
+        grid={"topology": tuple(topologies)},
+        base=base,
+        name="traces",
+    )
+
+
+def assemble_traces(
+    specs: list[ExperimentSpec], results: list[TrafficResult]
+) -> TraceCatalogueResult:
+    """Fold per-point results back into a :class:`TraceCatalogueResult`."""
+    if specs:
+        params = specs[0].params
+        header = read_trace_header(params["trace"])
+        catalogue = TraceCatalogueResult(
+            trace=params["trace"],
+            trace_sha=params["trace_sha"],
+            records=int(header["records"]),
+            cycles=int(header["cycles"]),
+            load=params["load"],
+        )
+    else:
+        catalogue = TraceCatalogueResult(
+            trace="", trace_sha="", records=0, cycles=0, load=0.0
+        )
+    for spec, result in zip(specs, results):
+        catalogue.results[spec.params["topology"]] = result
+    return catalogue
+
+
+def run_traces(
+    settings: ExperimentSettings | None = None,
+    topologies: tuple[str, ...] = DEFAULT_TRACE_TOPOLOGIES,
+    executor: Executor | None = None,
+) -> TraceCatalogueResult:
+    """Run the trace-replay catalogue sweep.
+
+    Examples
+    --------
+    >>> result = run_traces(topologies=("mesh", "torus"))
+    >>> result.latency("mesh") > 0.0 and result.energy_per_request("torus") > 0.0
+    True
+    """
+    sweep = traces_sweep(settings, topologies)
+    specs = sweep.specs()
+    results = (executor or Executor()).run(specs)
+    return assemble_traces(specs, results)

@@ -26,6 +26,27 @@ from repro.evaluation.settings import (
 from repro.experiments import Executor, ExperimentSpec, Sweep
 from repro.traffic import TrafficResult, TrafficSimulation
 from repro.workloads import available_injectors, available_patterns
+from repro.workloads.registry import injector_entry, pattern_entry
+
+
+def default_catalogue_patterns() -> tuple[str, ...]:
+    """Every registered pattern the catalogue can run with defaults.
+
+    Entries with *required* parameters (``trace`` needs a ``path``) have
+    no meaning on a shared grid axis and are skipped; everything else
+    rides along automatically when registered.
+    """
+    return tuple(
+        name for name in available_patterns() if not pattern_entry(name).required
+    )
+
+
+def default_catalogue_injectors() -> tuple[str, ...]:
+    """Every registered injector the catalogue can run with defaults."""
+    return tuple(
+        name for name in available_injectors() if not injector_entry(name).required
+    )
+
 
 #: Injected load of the catalogue points (request/core/cycle) — high
 #: enough that pattern structure separates the topologies' behaviour,
@@ -82,6 +103,7 @@ def simulate_workload_point(
     measure_cycles: int = DEFAULT_MEASURE_CYCLES,
     seed: int = DEFAULT_SEED,
     engine: str = "legacy",
+    energy: bool = False,
 ) -> TrafficResult:
     """Simulate one (pattern, injector) point of the workload catalogue.
 
@@ -100,7 +122,7 @@ def simulate_workload_point(
         (see :mod:`repro.topologies`).
     topology_params : dict, optional
         Family-specific topology knobs (e.g. ``{"width": 8}``).
-    full_scale, warmup_cycles, measure_cycles, seed, engine
+    full_scale, warmup_cycles, measure_cycles, seed, engine, energy
         As in :func:`repro.evaluation.fig5.simulate_fig5_point`.
 
     Examples
@@ -121,6 +143,7 @@ def simulate_workload_point(
         injector=injector,
         topology=topology,
         topology_params=dict(topology_params or {}),
+        energy=energy,
     )
     cluster = MemPoolCluster(
         settings.config(topology, topology_params=settings.topology_params),
@@ -130,10 +153,13 @@ def simulate_workload_point(
         cluster, load, pattern=settings.pattern, seed=settings.seed,
         injector=settings.injector,
     )
-    return simulation.run(
+    result = simulation.run(
         warmup_cycles=settings.warmup_cycles,
         measure_cycles=settings.measure_cycles,
     )
+    from repro.energy.traffic import attach_energy
+
+    return attach_energy(cluster, result, settings.energy)
 
 
 def workloads_sweep(
@@ -146,9 +172,11 @@ def workloads_sweep(
 ) -> Sweep:
     """The (pattern x injector) grid of the workload catalogue as a :class:`Sweep`.
 
-    ``patterns`` / ``injectors`` default to the *entire* registry, so a
-    newly registered workload shows up in the catalogue (and the CLI)
-    with no further wiring.  ``topology`` (with ``topology_params``)
+    ``patterns`` / ``injectors`` default to the entire registry *minus*
+    entries with required parameters (the trace replay pair needs a
+    ``path`` no shared grid axis can supply), so a newly registered
+    workload shows up in the catalogue (and the CLI) with no further
+    wiring.  ``topology`` (with ``topology_params``)
     defaults to the settings-level selection (``MEMPOOL_TOPOLOGY`` /
     ``--topology name:k=v``), so the catalogue runs on any registered
     topology family — programmatic callers pass the same pair, e.g.
@@ -167,9 +195,11 @@ def workloads_sweep(
     return Sweep(
         runner="repro.evaluation.workloads:simulate_workload_point",
         grid={
-            "pattern": tuple(patterns if patterns is not None else available_patterns()),
+            "pattern": tuple(
+                patterns if patterns is not None else default_catalogue_patterns()
+            ),
             "injector": tuple(
-                injectors if injectors is not None else available_injectors()
+                injectors if injectors is not None else default_catalogue_injectors()
             ),
         },
         base={

@@ -13,6 +13,10 @@ Usage::
     python -m repro.experiments run workloads --engine vector  # full catalogue
     python -m repro.experiments run topologies      # every topology family
     python -m repro.experiments run workloads --topology mesh:width=8,height=2
+    python -m repro.experiments run traces --trace my.trace.gz --energy
+    python -m repro.experiments trace record t.trace.gz --pattern tornado
+    python -m repro.experiments trace info t.trace.gz
+    python -m repro.experiments trace replay t.trace.gz mesh torus
     python -m repro.experiments list                # registered experiments
     python -m repro.experiments workloads           # workload catalogue
     python -m repro.experiments topologies          # topology catalogue
@@ -148,6 +152,138 @@ def build_parser() -> argparse.ArgumentParser:
              "parameters, e.g. 'mesh:width=8,height=2' (default: "
              "MEMPOOL_TOPOLOGY or 'toph'; figure sweeps keep their own "
              "topology axes)",
+    )
+    run.add_argument(
+        "--energy",
+        action="store_true",
+        help="attach the Figure 10 wire-energy summary to every traffic "
+             "result (like MEMPOOL_ENERGY=1; the traces catalogue always "
+             "reports energy)",
+    )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="trace file the traces experiment replays (like "
+             "MEMPOOL_TRACE; default: a small deterministic recording "
+             "made on first use)",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="record, inspect and replay flit traces",
+        description="Work with the versioned trace format of "
+                    "repro.workloads.trace: `record` captures a "
+                    "synthetic-traffic run as a replayable trace file, "
+                    "`info` prints (and verifies) a trace's header, and "
+                    "`replay` runs the trace across topology families and "
+                    "prints latency, throughput and energy per family.",
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_commands.add_parser(
+        "record", help="record a synthetic-traffic run as a trace file"
+    )
+    record.add_argument("path", help="output trace file (e.g. run.trace.gz)")
+    record.add_argument(
+        "--topology",
+        metavar="NAME[:K=V,...]",
+        default=None,
+        help="topology to record on (default: MEMPOOL_TOPOLOGY or 'toph')",
+    )
+    record.add_argument(
+        "--pattern",
+        choices=available_patterns(),
+        default=None,
+        help="destination pattern (default: MEMPOOL_PATTERN or 'uniform')",
+    )
+    record.add_argument(
+        "--injector",
+        choices=available_injectors(),
+        default=None,
+        help="injection process (default: MEMPOOL_INJECTOR or 'poisson')",
+    )
+    record.add_argument(
+        "--load",
+        type=float,
+        default=None,
+        help="offered load in requests/core/cycle (default: 0.25)",
+    )
+    record.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="warmup cycles before the recorded window (default: 50)",
+    )
+    record.add_argument(
+        "--measure",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="recorded measurement cycles (default: 200)",
+    )
+    record.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="workload RNG seed (default: 0)",
+    )
+    record.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="engine used for the recording run (the recorded bytes are "
+             "engine-independent)",
+    )
+    record.add_argument(
+        "--full",
+        action="store_true",
+        help="record on the full 256-core cluster (like MEMPOOL_FULL=1)",
+    )
+    record.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing trace file (refused otherwise)",
+    )
+
+    info = trace_commands.add_parser(
+        "info", help="print and verify a trace file's header"
+    )
+    info.add_argument("path", help="trace file to inspect")
+
+    replay = trace_commands.add_parser(
+        "replay", help="replay a trace across topology families"
+    )
+    replay.add_argument("path", help="trace file to replay")
+    replay.add_argument(
+        "topologies",
+        nargs="*",
+        metavar="TOPOLOGY",
+        help="topology families to replay on (default: the six "
+             "parameterized families)",
+    )
+    replay.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="timing engine of the replay (results are engine-identical)",
+    )
+    replay.add_argument(
+        "--full",
+        action="store_true",
+        help="replay on the full 256-core cluster (the trace must have "
+             "been recorded at that scale)",
+    )
+    replay.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    replay.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"cache directory (default: {default_cache_dir()})",
     )
 
     worker = commands.add_parser(
@@ -327,6 +463,151 @@ def _command_topologies() -> int:
     return 0
 
 
+def _trace_record(args: argparse.Namespace) -> int:
+    from repro.core.cluster import MemPoolCluster
+    from repro.evaluation.traces import (
+        DEFAULT_TRACE_LOAD,
+        DEFAULT_TRACE_MEASURE,
+        DEFAULT_TRACE_WARMUP,
+    )
+    from repro.traffic import TrafficSimulation
+    from repro.workloads.trace import record_trace
+
+    overrides = {}
+    if args.full:
+        overrides["full_scale"] = True
+    for key in ("engine", "pattern", "injector", "topology"):
+        value = getattr(args, key)
+        if value:
+            overrides[key] = value
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    overrides["warmup_cycles"] = (
+        DEFAULT_TRACE_WARMUP if args.warmup is None else args.warmup
+    )
+    overrides["measure_cycles"] = (
+        DEFAULT_TRACE_MEASURE if args.measure is None else args.measure
+    )
+    try:
+        settings = ExperimentSettings(**overrides)
+        settings.probe_topology()
+    except ValueError as error:
+        print(error)
+        return 1
+    load = DEFAULT_TRACE_LOAD if args.load is None else args.load
+    config = settings.config(
+        settings.topology, topology_params=settings.topology_params
+    )
+    cluster = MemPoolCluster(config, engine=settings.engine)
+    try:
+        simulation = TrafficSimulation(
+            cluster,
+            load,
+            pattern=settings.pattern,
+            injector=settings.injector,
+            seed=settings.seed,
+        )
+    except ValueError as error:
+        # e.g. --pattern trace: replay components need a source trace.
+        print(error)
+        return 1
+    result = simulation.run(
+        warmup_cycles=settings.warmup_cycles,
+        measure_cycles=settings.measure_cycles,
+        record_flits=True,
+    )
+    try:
+        sha = record_trace(
+            result,
+            config,
+            args.path,
+            meta={
+                "source": "cli",
+                "topology": settings.topology,
+                "pattern": settings.pattern,
+                "injector": settings.injector,
+                "load": load,
+                "seed": settings.seed,
+            },
+            force=args.force,
+        )
+    except FileExistsError as error:
+        print(error)
+        return 1
+    print(
+        f"recorded {len(result.flit_log)} requests "
+        f"({settings.pattern} x {settings.injector} at load {load:g} on "
+        f"{settings.topology}, {settings.scale_label}) to {args.path}"
+    )
+    print(f"sha256 {sha}")
+    return 0
+
+
+def _trace_info(path: str) -> int:
+    from repro.workloads.trace import (
+        TRACE_FORMAT,
+        TRACE_VERSION,
+        TraceFormatError,
+        load_trace,
+    )
+
+    try:
+        trace = load_trace(path)
+    except (OSError, TraceFormatError) as error:
+        print(error)
+        return 1
+    print(f"trace {path}")
+    print(f"  format       {TRACE_FORMAT} v{TRACE_VERSION} (payload verified)")
+    print(f"  sha256       {trace.sha256}")
+    print(f"  cluster      {trace.num_cores} cores, {trace.num_banks} banks")
+    print(f"  records      {trace.num_records} over {trace.cycles} cycles")
+    print(f"  mean load    {trace.mean_rate:.6f} requests/core/cycle")
+    for key in sorted(trace.meta):
+        print(f"  meta.{key:<12} {trace.meta[key]}")
+    return 0
+
+
+def _trace_replay(args: argparse.Namespace) -> int:
+    from repro.evaluation import traces as traces_module
+    from repro.workloads.trace import TraceFormatError
+
+    overrides: dict = {"trace": args.path}
+    if args.engine:
+        overrides["engine"] = args.engine
+    if args.full:
+        overrides["full_scale"] = True
+    try:
+        settings = ExperimentSettings(**overrides)
+    except ValueError as error:
+        print(error)
+        return 1
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    topologies = (
+        tuple(args.topologies) or traces_module.DEFAULT_TRACE_TOPOLOGIES
+    )
+    try:
+        result = traces_module.run_traces(
+            settings, topologies=topologies, executor=Executor(cache=cache)
+        )
+    except (OSError, TraceFormatError, ValueError) as error:
+        # Missing/corrupt trace files and unknown topology names both
+        # fail here with their own messages, before/while points run.
+        print(error)
+        return 1
+    print(result.report())
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "record":
+        return _trace_record(args)
+    if args.trace_command == "info":
+        return _trace_info(args.path)
+    return _trace_replay(args)
+
+
 def _command_clean(cache_dir: str | None) -> int:
     cache = ResultCache(cache_dir or default_cache_dir())
     removed = cache.clear()
@@ -438,6 +719,10 @@ def _command_run(args: argparse.Namespace) -> int:
         overrides["injector"] = args.injector
     if args.topology:
         overrides["topology"] = args.topology
+    if args.energy:
+        overrides["energy"] = True
+    if args.trace:
+        overrides["trace"] = args.trace
     try:
         settings = ExperimentSettings(**overrides)
         # Probe unconditionally: the selection may also come from
@@ -552,6 +837,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_topologies()
     if args.command == "validate":
         return _command_validate(args)
+    if args.command == "trace":
+        return _command_trace(args)
     if args.command == "clean":
         return _command_clean(args.cache_dir)
     if args.command == "worker":

@@ -137,6 +137,22 @@ def _topology_simulation(params: dict, cluster) -> Any:
     )
 
 
+def _trace_simulation(params: dict, cluster) -> Any:
+    """Member builder mirroring :func:`repro.evaluation.traces.simulate_trace_point`."""
+    from repro.traffic.simulation import TrafficSimulation
+
+    replay = {"path": params["trace"], "sha": params["trace_sha"]}
+    return TrafficSimulation(
+        cluster,
+        params["load"],
+        pattern="trace",
+        pattern_params=dict(replay),
+        seed=params.get("seed", _default_seed()),
+        injector="trace",
+        injector_params=dict(replay),
+    )
+
+
 BATCHABLE_RUNNERS: dict[str, TrafficAdapter] = {
     "repro.evaluation.fig5:simulate_fig5_point": TrafficAdapter(
         topology=lambda params: params["topology"],
@@ -153,6 +169,10 @@ BATCHABLE_RUNNERS: dict[str, TrafficAdapter] = {
     "repro.evaluation.topologies:simulate_topology_point": TrafficAdapter(
         topology=lambda params: params["topology"],
         build_simulation=_topology_simulation,
+    ),
+    "repro.evaluation.traces:simulate_trace_point": TrafficAdapter(
+        topology=lambda params: params["topology"],
+        build_simulation=_trace_simulation,
     ),
 }
 
@@ -306,4 +326,14 @@ class BatchRunner:
             simulations.append(adapter.build_simulation(params, cluster))
             warmups.append(params.get("warmup_cycles", DEFAULT_WARMUP_CYCLES))
             measures.append(params.get("measure_cycles", DEFAULT_MEASURE_CYCLES))
-        return TrafficBatch(simulations).run(warmups, measures)
+        results = TrafficBatch(simulations).run(warmups, measures)
+        # Mirror the point functions' energy attach (same helper, same
+        # cluster configuration), so batched and per-point results stay
+        # byte-identical under the shared cache keys.
+        from repro.energy.traffic import attach_energy
+
+        for index, result in zip(indices, results):
+            attach_energy(
+                cluster, result, bool(spec_list[index].params.get("energy", False))
+            )
+        return results

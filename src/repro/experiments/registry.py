@@ -28,6 +28,7 @@ from repro.evaluation import (
     physical_tables,
     power_table,
     topologies,
+    traces,
     workloads,
 )
 from repro.evaluation.settings import ExperimentSettings
@@ -195,5 +196,11 @@ EXPERIMENTS: dict[str, ExperimentDefinition] = {
         title="topology catalogue: every registered family at one load",
         build_sweep=topologies.topologies_sweep,
         assemble=topologies.assemble_topologies,
+    ),
+    "traces": ExperimentDefinition(
+        name="traces",
+        title="trace catalogue: one recorded trace replayed per topology family",
+        build_sweep=traces.traces_sweep,
+        assemble=traces.assemble_traces,
     ),
 }

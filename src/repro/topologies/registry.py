@@ -79,12 +79,17 @@ class TopologyEntry:
     params : mapping of str to callable
         Accepted parameter names mapped to validators; parameters not
         listed here are rejected by name.
+    round_trip : str
+        Human-readable zero-load remote round-trip formula (the closed
+        form ``analytic_round_trip_latency`` implements), shown in the
+        generated catalogue tables of README.md / docs/architecture.md.
     """
 
     name: str
     factory: Callable[..., ClusterTopology]
     summary: str
     params: Mapping[str, Validator] = field(default_factory=dict)
+    round_trip: str = "—"
 
     def validate(self, params: Mapping[str, Any]) -> None:
         """Reject unknown parameter names and invalid values.
@@ -118,9 +123,12 @@ def register_topology(
     factory: Callable[..., ClusterTopology],
     summary: str,
     params: Mapping[str, Validator] | None = None,
+    round_trip: str = "—",
 ) -> None:
     """Register a topology family under ``name`` (overwrites quietly)."""
-    _TOPOLOGIES[name] = TopologyEntry(name, factory, summary, dict(params or {}))
+    _TOPOLOGIES[name] = TopologyEntry(
+        name, factory, summary, dict(params or {}), round_trip
+    )
 
 
 def _lookup(name: str) -> TopologyEntry:
@@ -273,44 +281,54 @@ _parse_value = parse_scalar
 register_topology(
     "top1", Top1Topology,
     "paper Top1: one shared NxN radix-4 butterfly per direction (K=1)",
+    round_trip="5 cycles",
 )
 register_topology(
     "top4", Top4Topology,
     "paper Top4: four parallel NxN butterflies, one per core lane (K=4)",
+    round_trip="5 cycles",
 )
 register_topology(
     "toph", TopHTopology,
     "paper TopH: local 16x16 group crossbars + per-group-pair butterflies",
+    round_trip="3 in-group / 5 cross-group",
 )
 register_topology(
     "topx", IdealTopology,
     "paper TopX: ideal single-cycle full crossbar baseline (infeasible)",
+    round_trip="1 cycle",
 )
 register_topology(
     "butterfly", ButterflyTopology,
     "K parallel NxN radix-R butterflies (generalises top1/top4)",
     params={"radix": _int_at_least("radix", 2), "ports": _positive_int("ports")},
+    round_trip="5 cycles",
 )
 register_topology(
     "mesh", MeshTopology,
     "2D tile grid, XY dimension-ordered routing, latency 3 + 2*distance",
     params={"width": _positive_int("width"), "height": _positive_int("height")},
+    round_trip="3 + 2·manhattan distance",
 )
 register_topology(
     "torus", TorusTopology,
     "2D wrap-around grid with dateline VCs, latency 3 + 2*ring distance",
     params={"width": _positive_int("width"), "height": _positive_int("height")},
+    round_trip="3 + 2·ring distance",
 )
 register_topology(
     "ring", RingTopology,
     "single bidirectional tile ring (1-D torus), minimal wiring",
+    round_trip="3 + 2·ring distance",
 )
 register_topology(
     "fully_connected", FullyConnectedTopology,
     "dedicated registered link per tile pair, 3-cycle remote round trips",
+    round_trip="3 cycles",
 )
 register_topology(
     "hierarchical", HierarchicalTopology,
     "TopH generalised: configurable group count and butterfly radix",
     params={"groups": _positive_int("groups"), "radix": _int_at_least("radix", 2)},
+    round_trip="3 in-group / 5 cross-group",
 )

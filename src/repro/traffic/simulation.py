@@ -49,6 +49,12 @@ class TrafficResult:
     #: when the simulation ran with ``record_flits=True`` (used by the
     #: engine-equivalence tests).
     flit_log: list[tuple[int, int, int, int, int, int]] | None = None
+    #: Optional wire-energy summary of the measurement window
+    #: (:class:`repro.energy.traffic.TrafficEnergySummary`), attached by
+    #: the point functions when they run with ``energy=True``.  Derived
+    #: deterministically from the result's own counters, so equivalent
+    #: runs on different engines carry identical summaries.
+    energy: object | None = None
 
     def __post_init__(self) -> None:
         if self.measured_cycles <= 0:

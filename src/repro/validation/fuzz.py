@@ -433,6 +433,26 @@ def topology_selections(scale: str = "tiny") -> list:
     return selections
 
 
+def fuzzable_patterns() -> list[str]:
+    """Catalogue patterns the fuzzer can instantiate from scratch.
+
+    Entries with required parameters (the trace replay components, which
+    need an existing trace file) cannot be sampled out of thin air; they
+    have their own dedicated differential tests (``tests/test_trace``).
+    """
+    return [
+        name for name in available_patterns() if not pattern_entry(name).required
+    ]
+
+
+def fuzzable_injectors() -> list[str]:
+    """Catalogue injectors the fuzzer can instantiate from scratch."""
+    return [
+        name for name in available_injectors()
+        if not injector_entry(name).required
+    ]
+
+
 def _pattern_strategy(st):
     """Strategy over ``(pattern, params)`` pairs covering the catalogue."""
     def params_for(name):
@@ -442,9 +462,15 @@ def _pattern_strategy(st):
             return st.fixed_dictionaries(
                 {"p_hot": st.floats(0.0, 1.0), "num_hotspots": st.integers(1, 4)}
             )
+        if name == "scale_free":
+            return st.fixed_dictionaries({"exponent": st.floats(0.5, 3.5)})
+        if name == "degree_skewed":
+            return st.fixed_dictionaries(
+                {"m": st.integers(1, 4), "beta": st.floats(0.0, 2.0)}
+            )
         return st.just({})
 
-    return st.sampled_from(available_patterns()).flatmap(
+    return st.sampled_from(fuzzable_patterns()).flatmap(
         lambda name: st.tuples(st.just(name), params_for(name))
     )
 
@@ -467,7 +493,7 @@ def fuzz_cases(scale: str = "tiny"):
             st.sampled_from(topology_selections(scale))
         )
         pattern, pattern_params = draw(_pattern_strategy(st))
-        injector = draw(st.sampled_from(available_injectors()))
+        injector = draw(st.sampled_from(fuzzable_injectors()))
         load = draw(st.floats(0.05, 0.85))
         injector_params = {}
         if injector == "bursty":
@@ -516,7 +542,7 @@ def degree_skewed_cases(scale: str = "tiny"):
         return FuzzCase(
             topology=topology,
             pattern="hotspot",
-            injector=draw(st.sampled_from(available_injectors())),
+            injector=draw(st.sampled_from(fuzzable_injectors())),
             seed=draw(st.integers(0, 9999)),
             load=draw(st.floats(0.3, 0.85)),
             warmup=draw(st.integers(10, 40)),

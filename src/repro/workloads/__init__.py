@@ -16,6 +16,7 @@ seed repository's shared streams).
 """
 
 from repro.workloads.base import DestinationPattern, InjectionProcess
+from repro.workloads.graph import DegreeSkewedPattern, ScaleFreePattern
 from repro.workloads.injection import (
     BernoulliInjector,
     BurstyInjector,
@@ -46,6 +47,18 @@ from repro.workloads.registry import (
     register_pattern,
 )
 from repro.workloads.rng import substream, substream_seed
+from repro.workloads.trace import (
+    TraceData,
+    TraceFormatError,
+    TraceInjectionProcess,
+    TracePattern,
+    load_trace,
+    read_trace_header,
+    record_trace,
+    records_from_flit_log,
+    trace_sha,
+    write_trace,
+)
 
 __all__ = [
     "DestinationPattern",
@@ -61,6 +74,18 @@ __all__ = [
     "TornadoPattern",
     "NearestNeighbourPattern",
     "HotspotPattern",
+    "ScaleFreePattern",
+    "DegreeSkewedPattern",
+    "TracePattern",
+    "TraceInjectionProcess",
+    "TraceData",
+    "TraceFormatError",
+    "load_trace",
+    "read_trace_header",
+    "record_trace",
+    "records_from_flit_log",
+    "trace_sha",
+    "write_trace",
     "PoissonInjector",
     "BernoulliInjector",
     "BurstyInjector",

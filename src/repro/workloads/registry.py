@@ -43,15 +43,21 @@ class WorkloadEntry:
     params : mapping of str to callable
         Accepted parameter names mapped to validators; parameters not
         listed here are rejected by name.
+    required : tuple of str
+        Subset of ``params`` that has no usable default — the component
+        cannot be built without them (e.g. the trace replay pair needs a
+        ``path``).  Catalogue sweeps and the fuzzer skip entries with
+        required parameters; :meth:`validate` rejects omissions up front.
     """
 
     name: str
     factory: Callable[..., Any]
     summary: str
     params: Mapping[str, Validator] = field(default_factory=dict)
+    required: tuple[str, ...] = ()
 
     def validate(self, params: Mapping[str, Any]) -> None:
-        """Reject unknown parameter names and invalid values.
+        """Reject unknown/missing parameter names and invalid values.
 
         Every error names the offending key and lists the valid choices,
         so a typo'd parameter reads as a correction, not a puzzle.
@@ -62,6 +68,12 @@ class WorkloadEntry:
             raise ValueError(
                 f"unknown parameter(s) {', '.join(unknown)} for workload "
                 f"{self.name!r}; accepted: {accepted}"
+            )
+        missing = sorted(set(self.required) - set(params))
+        if missing:
+            raise ValueError(
+                f"workload {self.name!r} requires parameter(s) "
+                f"{', '.join(missing)}; accepted: {accepted}"
             )
         for key, value in params.items():
             try:
@@ -82,9 +94,12 @@ def register_pattern(
     factory: Callable[..., DestinationPattern],
     summary: str,
     params: Mapping[str, Validator] | None = None,
+    required: tuple[str, ...] = (),
 ) -> None:
     """Register a destination pattern under ``name`` (overwrites quietly)."""
-    _PATTERNS[name] = WorkloadEntry(name, factory, summary, dict(params or {}))
+    _PATTERNS[name] = WorkloadEntry(
+        name, factory, summary, dict(params or {}), tuple(required)
+    )
 
 
 def register_injector(
@@ -92,9 +107,12 @@ def register_injector(
     factory: Callable[..., InjectionProcess],
     summary: str,
     params: Mapping[str, Validator] | None = None,
+    required: tuple[str, ...] = (),
 ) -> None:
     """Register an injection process under ``name`` (overwrites quietly)."""
-    _INJECTORS[name] = WorkloadEntry(name, factory, summary, dict(params or {}))
+    _INJECTORS[name] = WorkloadEntry(
+        name, factory, summary, dict(params or {}), tuple(required)
+    )
 
 
 def _lookup(table: dict[str, WorkloadEntry], kind: str, name: str) -> WorkloadEntry:

@@ -376,7 +376,7 @@ class TestRegistry:
     def test_every_experiment_is_registered(self):
         assert set(EXPERIMENTS) == {
             "fig5", "fig6", "fig7", "fig10", "power", "physical", "workloads",
-            "topologies",
+            "topologies", "traces",
         }
 
     def test_definitions_build_consistent_sweeps(self):

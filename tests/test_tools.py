@@ -399,6 +399,84 @@ class TestDocsLint:
         assert docs_lint.main([str(tmp_path)]) == 1
 
 
+class TestGeneratedTables:
+    """The registry-generated docs tables and their drift check."""
+
+    def test_committed_docs_are_in_sync(self):
+        """The acceptance gate: README/architecture match the registries."""
+        assert docs_lint.check_tables() == []
+
+    def test_new_registry_entry_is_flagged_as_drift(self, monkeypatch):
+        # Registering a pattern without regenerating the docs must fail
+        # the check — that is the whole point of the generated regions.
+        from repro.workloads import registry
+
+        entry = registry.WorkloadEntry(
+            "zz_fake", object, "a pattern the docs have never heard of"
+        )
+        monkeypatch.setitem(registry._PATTERNS, "zz_fake", entry)
+        violations = docs_lint.check_tables()
+        assert violations, "adding a pattern must make the tables stale"
+        assert any("workload-patterns" in v for v in violations)
+        assert all("--tables --write" in v for v in violations)
+
+    def _docs_root(self, tmp_path, readme, architecture=None):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(readme)
+        (tmp_path / "docs" / "architecture.md").write_text(
+            architecture if architecture is not None else self._all_regions()
+        )
+        return tmp_path
+
+    @staticmethod
+    def _all_regions():
+        return "\n".join(
+            f"<!-- BEGIN GENERATED: {name} -->\nstale\n"
+            f"<!-- END GENERATED: {name} -->"
+            for name in docs_lint.GENERATED_TABLES
+        )
+
+    def test_deleting_every_marker_is_a_violation(self, tmp_path):
+        # Silencing the check by deleting the markers must not work:
+        # every known table has to live somewhere.
+        root = self._docs_root(tmp_path, "no markers here\n", "none here\n")
+        violations = docs_lint.check_tables(root=root)
+        names = set(docs_lint.GENERATED_TABLES)
+        assert names == {
+            name for name in names
+            if any(f"generated table {name!r} has no" in v for v in violations)
+        }
+
+    def test_unknown_region_name_is_a_violation(self, tmp_path):
+        readme = (
+            self._all_regions()
+            + "\n<!-- BEGIN GENERATED: bogus -->\nx\n"
+            "<!-- END GENERATED: bogus -->\n"
+        )
+        root = self._docs_root(tmp_path, readme)
+        violations = docs_lint.check_tables(root=root)
+        assert any("unknown generated region 'bogus'" in v for v in violations)
+
+    def test_write_regenerates_stale_regions(self, tmp_path, capsys):
+        root = self._docs_root(tmp_path, self._all_regions())
+        assert docs_lint.check_tables(root=root)  # stale before --write
+        assert docs_lint.check_tables(write=True, root=root) == []
+        assert "rewrote generated tables" in capsys.readouterr().out
+        assert docs_lint.check_tables(root=root) == []
+        assert "stale" not in (root / "README.md").read_text()
+
+    def test_missing_docs_file_is_a_violation(self, tmp_path):
+        root = self._docs_root(tmp_path, self._all_regions())
+        (root / "docs" / "architecture.md").unlink()
+        violations = docs_lint.check_tables(root=root)
+        assert any("missing documentation file" in v for v in violations)
+
+    def test_tables_flag_main_exit_codes(self, capsys):
+        assert docs_lint.main(["--tables"]) == 0
+        assert "tables in sync" in capsys.readouterr().out
+
+
 @pytest.mark.parametrize("tool", ["bench_report", "docs_lint"])
 def test_tools_have_module_docstrings(tool):
     """The linting tools hold themselves to their own standard."""
