@@ -136,6 +136,7 @@ def test_batch_speedup_and_append_bench(report_sink):
         "batch_seconds": round(batch_best, 4),
         "speedup": round(speedup, 2),
     }
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     report_sink.append(
         f"batch benchmark ({payload['batch']['benchmark']}): "

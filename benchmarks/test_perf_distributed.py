@@ -95,6 +95,7 @@ def test_distributed_scaling_and_write_bench(report_sink):
         "fleet_seconds": round(fleet_seconds, 4),
         "speedup_4v1": round(speedup, 2),
     }
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     report_sink.append(
         f"distributed benchmark ({payload['distributed']['benchmark']}): "

@@ -141,6 +141,7 @@ def test_engine_speedup_and_write_bench(report_sink):
             "end_to_end_speedup": round(end_to_end_speedup, 2),
         }
     )
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     report_sink.append(
         f"engine benchmark ({payload['benchmark']}): "
@@ -181,6 +182,7 @@ def test_compiled_speedup_and_write_bench(report_sink):
         "speedup_vs_vector": round(speedup, 2),
         "jit": JIT_ENABLED,
     }
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     mode = "numba JIT" if JIT_ENABLED else "pure-Python kernels"
     report_sink.append(
@@ -226,6 +228,7 @@ def test_full_scale_smoke_sweep_and_write_bench(report_sink):
         "jit": JIT_ENABLED,
         "seconds": {name: round(value, 3) for name, value in seconds.items()},
     }
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     report_sink.append(
         "full-scale smoke (256-core toph): flit-for-flit identical; "

@@ -136,4 +136,5 @@ def test_topology_speedups_and_write_bench(report_sink):
                      f"{WARMUP_CYCLES}+{MEASURE_CYCLES} cycles/point)",
         **section,
     }
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")

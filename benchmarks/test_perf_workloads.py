@@ -83,6 +83,7 @@ def test_pattern_sweep_and_append_bench(report_sink):
         ),
         "patterns": measurements,
     }
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     uniform = measurements["uniform"]["cycles_per_sec"]
